@@ -1,0 +1,380 @@
+// Benchmarks mirroring the experiment index of DESIGN.md §3: one bench per
+// table (T0–T10) plus the ablations (A1–A3). Each measures the dominant
+// operation behind its table so regressions in the pipeline show up as
+// benchmark regressions. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/algorithms/matching"
+	"repro/internal/baseline"
+	"repro/internal/beepalgs"
+	"repro/internal/codes"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/localbroadcast"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// mustRegular builds a d-regular benchmark graph.
+func mustRegular(b *testing.B, n, d int, seed uint64) *graph.Graph {
+	b.Helper()
+	g, err := graph.RandomRegular(n, d, rng.New(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchGossipRound measures one simulated Broadcast CONGEST round (two
+// beep phases plus decoding at every node).
+func benchGossipRound(b *testing.B, n, delta int, eps float64) {
+	b.Helper()
+	g := mustRegular(b, n, delta, 1)
+	msgBits := 2 * wire.BitsFor(n)
+	p := core.DefaultParams(n, g.MaxDegree(), msgBits, eps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+			Params:      p,
+			ChannelSeed: uint64(i),
+			AlgSeed:     2,
+			NoisyOwn:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := runner.Run(gossip(n), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MessageErrors > n/4 {
+			b.Fatalf("excessive decode errors: %d", res.MessageErrors)
+		}
+	}
+	b.ReportMetric(float64(p.RoundsPerSimRound()), "beeprounds/simround")
+}
+
+// gossip returns one-round ID-broadcast algorithms.
+func gossip(n int) []congest.BroadcastAlgorithm {
+	algs := make([]congest.BroadcastAlgorithm, n)
+	for v := range algs {
+		algs[v] = &gossipAlg{}
+	}
+	return algs
+}
+
+type gossipAlg struct {
+	env  congest.Env
+	done bool
+}
+
+func (g *gossipAlg) Init(env congest.Env) { g.env = env }
+func (g *gossipAlg) Broadcast(round int) congest.Message {
+	var w wire.Writer
+	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
+	return w.PaddedBytes(g.env.MsgBits)
+}
+func (g *gossipAlg) Receive(int, []congest.Message) { g.done = true }
+func (g *gossipAlg) Done() bool                     { return g.done }
+func (g *gossipAlg) Output() any                    { return nil }
+
+// BenchmarkT0Params measures the paper-constant calculator.
+func BenchmarkT0Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PaperParams(256, 8, 1, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1BeepCode measures the Theorem 4 superimposition check.
+func BenchmarkT1BeepCode(b *testing.B) {
+	code, err := codes.NewBlockedBeepCode(32, 32, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codes.SuperimpositionCheck(code, 8, 40, 10, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT2DistanceCode measures Lemma 6's exhaustive min-distance scan.
+func BenchmarkT2DistanceCode(b *testing.B) {
+	code, err := codes.NewRandomDistanceCode(8, 108*8, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code.MinDistance() < 8 {
+			b.Fatal("implausible min distance")
+		}
+	}
+}
+
+// BenchmarkT3Phase1 measures a noisy simulated round dominated by the
+// phase-1 membership scan (small messages, larger noise).
+func BenchmarkT3Phase1(b *testing.B) { benchGossipRound(b, 64, 6, 0.2) }
+
+// BenchmarkT4BroadcastRound measures one simulated Broadcast CONGEST round
+// across the Δ sweep of table T4.
+func BenchmarkT4BroadcastRound(b *testing.B) {
+	for _, delta := range []int{4, 8, 16} {
+		b.Run(benchName("delta", delta), func(b *testing.B) {
+			benchGossipRound(b, 64, delta, 0.1)
+		})
+	}
+	for _, n := range []int{128, 256} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			benchGossipRound(b, n, 8, 0.1)
+		})
+	}
+}
+
+// BenchmarkT5CongestRound measures one CONGEST round via Corollary 12's
+// adapter over beeps (1 discovery + Δ slots).
+func BenchmarkT5CongestRound(b *testing.B) {
+	const n, delta = 48, 4
+	g := mustRegular(b, n, delta, 4)
+	inner := wire.BitsFor(n)
+	outer := core.AdapterMsgBits(n, inner)
+	inst := localbroadcast.NewRandomInstance(g, inner, rng.New(5))
+	p := core.DefaultParams(n, delta, outer, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+			Params:      p,
+			ChannelSeed: uint64(i),
+			AlgSeed:     6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(core.WrapCongest(localbroadcast.NewAlgorithms(inst)), core.CongestRounds(1, delta)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT6Baseline compares one simulated round under Algorithm 1 vs
+// the TDMA baseline on a χ(G²)=Θ(Δ²) instance.
+func BenchmarkT6Baseline(b *testing.B) {
+	g, err := graph.ProjectivePlaneIncidence(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	msgBits := 2 * wire.BitsFor(n)
+	b.Run("ours", func(b *testing.B) {
+		p := core.DefaultParams(n, g.MaxDegree(), msgBits, 0.05)
+		for i := 0; i < b.N; i++ {
+			runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{Params: p, ChannelSeed: uint64(i), AlgSeed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := runner.Run(gossip(n), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tdma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runner, err := baseline.NewRunner(g, baseline.Config{
+				MsgBits: msgBits, Epsilon: 0.05, ChannelSeed: uint64(i), AlgSeed: 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := runner.Run(gossip(n), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT7LocalBroadcast measures the full Local Broadcast stack on the
+// Lemma 14 hard instance.
+func BenchmarkT7LocalBroadcast(b *testing.B) {
+	const delta, bits = 3, 16
+	g, err := graph.HardInstance(2*delta, delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := localbroadcast.NewHardInstance(g, delta, bits, rng.New(8))
+	inner := wire.BitsFor(g.N())
+	outer := core.AdapterMsgBits(g.N(), inner)
+	p := core.DefaultParams(g.N(), delta, outer, 0.05)
+	budget := core.CongestRounds(localbroadcast.CongestRoundsNeeded(bits, inner), delta)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{Params: p, ChannelSeed: uint64(i), AlgSeed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(core.WrapCongest(localbroadcast.NewAlgorithms(inst)), budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT8MatchingNative measures Algorithm 3 on the native engine.
+func BenchmarkT8MatchingNative(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			g := mustRegular(b, n, 8, 10)
+			for i := 0; i < b.N; i++ {
+				eng, err := congest.NewBroadcastEngine(g, matching.MsgBits(n), uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run(matching.New(n), matching.MaxRounds(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllDone {
+					b.Fatal("did not terminate")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT9MatchingBeeps measures the Theorem 21 pipeline end to end.
+func BenchmarkT9MatchingBeeps(b *testing.B) {
+	const n, delta = 32, 4
+	g := mustRegular(b, n, delta, 11)
+	p := core.DefaultParams(n, delta, matching.MsgBits(n), 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+			Params: p, ChannelSeed: uint64(i), AlgSeed: 12, NoisyOwn: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := runner.Run(matching.New(n), matching.MaxRounds(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDone {
+			b.Fatal("did not terminate")
+		}
+	}
+}
+
+// BenchmarkT10LowerBound measures the counting-bound calculators.
+func BenchmarkT10LowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = localbroadcast.Lemma14MinRounds(8, 32)
+		_ = localbroadcast.Lemma14SuccessExponent(100, 8, 32)
+		_ = localbroadcast.Theorem22SuccessExponent(64, 8, 256)
+	}
+}
+
+// BenchmarkT11NativeMIS measures the beep-native MIS (the fast side of the
+// §7 gap table).
+func BenchmarkT11NativeMIS(b *testing.B) {
+	g := mustRegular(b, 64, 8, 19)
+	for i := 0; i < b.N; i++ {
+		inSet, _, err := beepalgs.RunMIS(g, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(inSet) != g.N() {
+			b.Fatal("bad output length")
+		}
+	}
+}
+
+// BenchmarkA1Ablation measures a simulated round at the smallest viable
+// repetition factor (the cheap end of table A1).
+func BenchmarkA1Ablation(b *testing.B) {
+	g := mustRegular(b, 32, 6, 13)
+	p := core.DefaultParams(32, 6, 12, 0.1)
+	p.R = 15
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{Params: p, ChannelSeed: uint64(i), AlgSeed: 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(gossip(32), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2Codebook measures a simulated round in random-assignment mode
+// with a large codebook (decode scans all M codewords).
+func BenchmarkA2Codebook(b *testing.B) {
+	g := mustRegular(b, 32, 6, 15)
+	p := core.DefaultParams(32, 6, 12, 0.05)
+	p.Assignment = core.AssignRandom
+	p.M = 4096
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{Params: p, ChannelSeed: uint64(i), AlgSeed: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(gossip(32), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA3Decoder measures the naive all-position decoder variant.
+func BenchmarkA3Decoder(b *testing.B) {
+	g := mustRegular(b, 32, 6, 17)
+	p := core.DefaultParams(32, 6, 12, 0.1)
+	p.DisableSoloFilter = true
+	for i := 0; i < b.N; i++ {
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{Params: p, ChannelSeed: uint64(i), AlgSeed: 18})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(gossip(32), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentSuiteQuick runs the whole quick-size experiment suite
+// once per iteration — the end-to-end regression canary.
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if _, err := e.Run(experiments.Config{Quick: true, Seed: uint64(i + 1)}); err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

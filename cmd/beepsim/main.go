@@ -1,0 +1,218 @@
+// Command beepsim runs a single scenario: a chosen algorithm on a chosen
+// topology, either natively in Broadcast CONGEST or simulated over the
+// noisy beeping model with Algorithm 1, and reports rounds, beeps, and
+// verification.
+//
+// Usage examples:
+//
+//	beepsim -graph regular -n 64 -delta 8 -alg matching -eps 0.1
+//	beepsim -graph grid -n 36 -alg bfs -model native
+//	beepsim -graph pg -q 5 -alg mis -eps 0.05 -seed 7
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algorithms/bfstree"
+	"repro/internal/algorithms/coloring"
+	"repro/internal/algorithms/leader"
+	"repro/internal/algorithms/matching"
+	"repro/internal/algorithms/mis"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "regular", "topology: regular|bounded|grid|cycle|complete|pg|hard")
+		n         = flag.Int("n", 64, "number of nodes (regular/bounded/cycle/complete/hard)")
+		delta     = flag.Int("delta", 8, "degree bound Δ")
+		q         = flag.Int("q", 5, "projective plane order (graph=pg)")
+		algName   = flag.String("alg", "matching", "algorithm: matching|mis|coloring|bfs|leader")
+		model     = flag.String("model", "beep", "execution model: native|beep")
+		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model)")
+		seed      = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "beepsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(kind string, n, delta, q int, seed uint64) (*graph.Graph, error) {
+	switch kind {
+	case "regular":
+		if n*delta%2 != 0 {
+			return graph.RandomBoundedDegree(n, delta, 0.5, rng.New(seed)), nil
+		}
+		return graph.RandomRegular(n, delta, rng.New(seed))
+	case "bounded":
+		return graph.RandomBoundedDegree(n, delta, 0.2, rng.New(seed)), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "pg":
+		return graph.ProjectivePlaneIncidence(q)
+	case "hard":
+		return graph.HardInstance(n, delta)
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+type workload struct {
+	algs    []congest.BroadcastAlgorithm
+	msgBits int
+	rounds  int
+	verify  func([]any) error
+}
+
+func buildWorkload(name string, g *graph.Graph) (*workload, error) {
+	n := g.N()
+	switch name {
+	case "matching":
+		return &workload{
+			algs:    matching.New(n),
+			msgBits: matching.MsgBits(n),
+			rounds:  matching.MaxRounds(n),
+			verify: func(outs []any) error {
+				res := make([]int, n)
+				for v, o := range outs {
+					res[v] = o.(int)
+				}
+				return matching.Verify(g, res)
+			},
+		}, nil
+	case "mis":
+		return &workload{
+			algs:    mis.New(n),
+			msgBits: mis.MsgBits(n),
+			rounds:  mis.MaxRounds(n),
+			verify: func(outs []any) error {
+				res := make([]bool, n)
+				for v, o := range outs {
+					res[v] = o.(bool)
+				}
+				return mis.Verify(g, res)
+			},
+		}, nil
+	case "coloring":
+		return &workload{
+			algs:    coloring.New(n),
+			msgBits: coloring.MsgBits(n, g.MaxDegree()),
+			rounds:  coloring.MaxRounds(n),
+			verify: func(outs []any) error {
+				res := make([]int, n)
+				for v, o := range outs {
+					res[v] = o.(int)
+				}
+				return coloring.Verify(g, res)
+			},
+		}, nil
+	case "bfs":
+		return &workload{
+			algs:    bfstree.New(n, 0),
+			msgBits: bfstree.MsgBits(n),
+			rounds:  n + 1,
+			verify: func(outs []any) error {
+				res := make([]bfstree.Result, n)
+				for v, o := range outs {
+					res[v] = o.(bfstree.Result)
+				}
+				return bfstree.Verify(g, 0, res)
+			},
+		}, nil
+	case "leader":
+		return &workload{
+			algs:    leader.New(n, n),
+			msgBits: leader.MsgBits(n),
+			rounds:  n + 1,
+			verify: func(outs []any) error {
+				res := make([]leader.Result, n)
+				for v, o := range outs {
+					res[v] = o.(leader.Result)
+				}
+				return leader.Verify(g, res)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func run(graphKind string, n, delta, q int, algName, model string, eps float64, seed uint64) error {
+	g, err := buildGraph(graphKind, n, delta, q, seed)
+	if err != nil {
+		return err
+	}
+	w, err := buildWorkload(algName, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", graphKind, g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("algorithm: %s  bandwidth=%d bits  budget=%d rounds\n", algName, w.msgBits, w.rounds)
+
+	switch model {
+	case "native":
+		eng, err := congest.NewBroadcastEngine(g, w.msgBits, seed)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run(w.algs, w.rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("native Broadcast CONGEST: %d rounds, %d messages, done=%v\n",
+			res.Rounds, res.Messages, res.AllDone)
+		if !res.AllDone {
+			return errors.New("algorithm did not terminate in budget")
+		}
+		return report(w, res.Outputs)
+	case "beep":
+		p := core.DefaultParams(g.N(), g.MaxDegree(), w.msgBits, eps)
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+			Params:      p,
+			ChannelSeed: seed,
+			AlgSeed:     seed,
+			NoisyOwn:    true,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run(w.algs, w.rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("noisy beeping model (ε=%.2f): %d simulated rounds, %d beep rounds (%d per round), %d beeps\n",
+			eps, res.SimRounds, res.BeepRounds, p.RoundsPerSimRound(), res.Beeps)
+		fmt.Printf("decode errors: %d message, %d membership (node·rounds)\n",
+			res.MessageErrors, res.MembershipErrors)
+		if !res.AllDone {
+			return errors.New("algorithm did not terminate in budget")
+		}
+		return report(w, res.Outputs)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func report(w *workload, outputs []any) error {
+	if err := w.verify(outputs); err != nil {
+		return fmt.Errorf("verification FAILED: %w", err)
+	}
+	fmt.Println("verification: OK")
+	return nil
+}

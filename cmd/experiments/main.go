@@ -1,0 +1,53 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (DESIGN.md §3) and prints them as aligned text.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only T4,T9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run reduced-size experiments")
+		seed  = flag.Uint64("seed", 2023, "experiment seed")
+		only  = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+	if err := run(*quick, *seed, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed uint64, only string) error {
+	cfg := experiments.Config{Quick: quick, Seed: seed}
+	selected := make(map[string]bool)
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+	for _, e := range experiments.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

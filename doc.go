@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Optimal
+// Message-Passing with Noisy Beeps" (Peter Davies, PODC 2023,
+// arXiv:2303.15346): beeping-network simulators, the beep-code and
+// distance-code constructions, the optimal Broadcast CONGEST / CONGEST
+// simulation (Algorithm 1 and Corollary 12), the prior-work TDMA baseline,
+// the §5 lower-bound machinery, and the §6 maximal-matching application —
+// together with the experiment harness that regenerates every quantitative
+// claim. See README.md for the layout and DESIGN.md for the system
+// inventory and per-experiment index.
+package repro

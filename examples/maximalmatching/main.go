@@ -1,0 +1,76 @@
+// Maximal matching with noisy beeps — the paper's §6 headline end to end.
+//
+// A 48-node random 6-regular network runs Algorithm 3 (the O(log n)-round
+// Propose/Reply/Confirm Broadcast CONGEST matching), simulated over the
+// noisy beeping model by Algorithm 1. The run demonstrates Theorem 21: a
+// maximal matching in O(Δ log² n) beep rounds despite every received bit
+// flipping with probability ε.
+//
+// Run with: go run ./examples/maximalmatching
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algorithms/matching"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		n     = 48
+		delta = 6
+		eps   = 0.1
+	)
+	g, err := graph.RandomRegular(n, delta, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+		Params:      core.DefaultParams(n, g.MaxDegree(), matching.MsgBits(n), eps),
+		ChannelSeed: 5,
+		AlgSeed:     6,
+		NoisyOwn:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := runner.Run(matching.New(n), matching.MaxRounds(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.AllDone {
+		log.Fatal("matching did not terminate within the O(log n) budget")
+	}
+
+	partners := make([]int, n)
+	for v, o := range res.Outputs {
+		partners[v] = o.(int)
+	}
+	if err := matching.Verify(g, partners); err != nil {
+		log.Fatalf("invalid matching: %v", err)
+	}
+
+	fmt.Printf("graph: %d nodes, %d edges, Δ=%d\n", n, g.M(), g.MaxDegree())
+	fmt.Printf("Broadcast CONGEST rounds: %d (budget %d)\n", res.SimRounds, matching.MaxRounds(n))
+	fmt.Printf("noisy beep rounds (ε=%.2f): %d\n", eps, res.BeepRounds)
+	fmt.Printf("decode errors: %d\n", res.MessageErrors)
+	fmt.Printf("matching size: %d pairs, maximal and symmetric ✓\n\n", matching.Size(partners))
+	for v, p := range partners {
+		if p != matching.Unmatched && v < p {
+			fmt.Printf("  %2d — %2d\n", v, p)
+		}
+	}
+	unmatched := 0
+	for _, p := range partners {
+		if p == matching.Unmatched {
+			unmatched++
+		}
+	}
+	fmt.Printf("  (%d nodes unmatched, all with matched neighbors)\n", unmatched)
+}

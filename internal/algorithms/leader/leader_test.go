@@ -1,0 +1,99 @@
+package leader
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func outputsToResults(t *testing.T, outs []any) []Result {
+	t.Helper()
+	res := make([]Result, len(outs))
+	for i, o := range outs {
+		r, ok := o.(Result)
+		if !ok {
+			t.Fatalf("output %d has type %T", i, o)
+		}
+		res[i] = r
+	}
+	return res
+}
+
+func TestNativeLeaderElection(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "path", g: graph.Path(12)},
+		{name: "cycle", g: graph.Cycle(8)},
+		{name: "complete", g: graph.Complete(6)},
+		{name: "two components", g: graph.MustFromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})},
+		{name: "singletons", g: graph.MustFromEdges(3, nil)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e, err := congest.NewBroadcastEngine(tt.g, MsgBits(tt.g.N()), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(New(tt.g.N(), tt.g.N()), tt.g.N()+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllDone {
+				t.Fatal("election did not terminate")
+			}
+			if err := Verify(tt.g, outputsToResults(t, res.Outputs)); err != nil {
+				t.Fatalf("invalid election: %v", err)
+			}
+		})
+	}
+}
+
+func TestLeaderOverNoisyBeeps(t *testing.T) {
+	g := graph.Cycle(10)
+	runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+		Params:      core.DefaultParams(g.N(), g.MaxDegree(), MsgBits(g.N()), 0.1),
+		ChannelSeed: 14,
+		AlgSeed:     15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(New(g.N(), g.N()), g.N()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone {
+		t.Fatal("election over beeps did not terminate")
+	}
+	if err := Verify(g, outputsToResults(t, res.Outputs)); err != nil {
+		t.Fatalf("invalid election over noisy beeps: %v", err)
+	}
+}
+
+func TestVerifyRejectsBadElections(t *testing.T) {
+	g := graph.Path(3)
+	good := []Result{{Leader: 2}, {Leader: 2}, {Leader: 2, IsLeader: true}}
+	if err := Verify(g, good); err != nil {
+		t.Fatalf("valid election rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		out  []Result
+	}{
+		{name: "wrong leader", out: []Result{{Leader: 1}, {Leader: 2}, {Leader: 2, IsLeader: true}}},
+		{name: "false claim", out: []Result{{Leader: 2, IsLeader: true}, {Leader: 2}, {Leader: 2, IsLeader: true}}},
+		{name: "no claim", out: []Result{{Leader: 2}, {Leader: 2}, {Leader: 2}}},
+		{name: "wrong length", out: []Result{{Leader: 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Verify(g, tt.out); err == nil {
+				t.Error("invalid election accepted")
+			}
+		})
+	}
+}

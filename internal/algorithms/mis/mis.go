@@ -1,0 +1,161 @@
+// Package mis implements Luby's maximal independent set algorithm in
+// Broadcast CONGEST. MIS is the classic beeping-model benchmark (Afek et
+// al.'s biological networks paper, cited in the paper's introduction);
+// here it demonstrates running an off-the-shelf message-passing algorithm
+// through the beep simulation.
+//
+// Each iteration takes two broadcast rounds: undecided nodes broadcast a
+// random value (candidate round); local minima join the MIS and announce
+// (join round); neighbors of joiners drop out.
+package mis
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+const valueBits = 24
+
+// MsgBits returns the bandwidth needed on an n-node graph: a tag bit, an
+// ID, and a value.
+func MsgBits(n int) int { return 1 + wire.BitsFor(n) + valueBits }
+
+// MaxRounds returns a generous budget: O(log n) iterations w.h.p., two
+// rounds each.
+func MaxRounds(n int) int { return 2 * (8*wire.BitsFor(n) + 16) }
+
+// Status is a node's MIS decision.
+type Status int
+
+const (
+	// Undecided nodes are still running.
+	Undecided Status = iota
+	// In nodes joined the MIS.
+	In
+	// Out nodes have an MIS neighbor.
+	Out
+)
+
+// Algorithm is the per-node Luby MIS state machine.
+type Algorithm struct {
+	env    congest.Env
+	idBits int
+
+	status   Status
+	myVal    uint64
+	isMin    bool
+	announce bool
+}
+
+var _ congest.BroadcastAlgorithm = (*Algorithm)(nil)
+
+// Init implements congest.BroadcastAlgorithm.
+func (a *Algorithm) Init(env congest.Env) {
+	a.env = env
+	a.idBits = wire.BitsFor(env.N)
+	if env.MsgBits < MsgBits(env.N) {
+		panic(fmt.Sprintf("mis: bandwidth %d < required %d", env.MsgBits, MsgBits(env.N)))
+	}
+}
+
+// Broadcast implements congest.BroadcastAlgorithm.
+func (a *Algorithm) Broadcast(round int) congest.Message {
+	if round%2 == 0 { // candidate round
+		a.myVal = a.env.Rng.Uint64() & (1<<valueBits - 1)
+		a.isMin = true
+		var w wire.Writer
+		w.WriteBool(false)
+		w.WriteUint(uint64(a.env.ID), a.idBits)
+		w.WriteUint(a.myVal, valueBits)
+		return w.PaddedBytes(a.env.MsgBits)
+	}
+	// Join round.
+	if !a.isMin {
+		return nil
+	}
+	a.announce = true
+	var w wire.Writer
+	w.WriteBool(true)
+	w.WriteUint(uint64(a.env.ID), a.idBits)
+	w.WriteUint(0, valueBits)
+	return w.PaddedBytes(a.env.MsgBits)
+}
+
+// Receive implements congest.BroadcastAlgorithm.
+func (a *Algorithm) Receive(round int, msgs []congest.Message) {
+	if round%2 == 0 {
+		for _, m := range msgs {
+			r := wire.NewReader(m)
+			join, err1 := r.ReadBool()
+			id, err2 := r.ReadUint(a.idBits)
+			val, err3 := r.ReadUint(valueBits)
+			if err1 != nil || err2 != nil || err3 != nil || join {
+				continue
+			}
+			// Priority order: (value, ID), lower wins.
+			if val < a.myVal || (val == a.myVal && int(id) < a.env.ID) {
+				a.isMin = false
+			}
+		}
+		return
+	}
+	if a.announce {
+		a.status = In
+		return
+	}
+	for _, m := range msgs {
+		r := wire.NewReader(m)
+		join, err := r.ReadBool()
+		if err == nil && join {
+			a.status = Out
+			return
+		}
+	}
+}
+
+// Done implements congest.BroadcastAlgorithm.
+func (a *Algorithm) Done() bool { return a.status != Undecided }
+
+// Output returns true iff the node is in the MIS.
+func (a *Algorithm) Output() any { return a.status == In }
+
+// New returns per-node instances for an n-node run.
+func New(n int) []congest.BroadcastAlgorithm {
+	algs := make([]congest.BroadcastAlgorithm, n)
+	for v := range algs {
+		algs[v] = &Algorithm{}
+	}
+	return algs
+}
+
+// Verify checks that the boolean outputs form a maximal independent set of
+// g: no two adjacent members, and every non-member has a member neighbor.
+func Verify(g *graph.Graph, inMIS []bool) error {
+	if len(inMIS) != g.N() {
+		return fmt.Errorf("mis: %d outputs for %d nodes", len(inMIS), g.N())
+	}
+	for _, e := range g.Edges() {
+		if inMIS[e[0]] && inMIS[e[1]] {
+			return fmt.Errorf("mis: adjacent members %d,%d", e[0], e[1])
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if inMIS[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if inMIS[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("mis: node %d has no member in its closed neighborhood", v)
+		}
+	}
+	return nil
+}

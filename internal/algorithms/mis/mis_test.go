@@ -1,0 +1,121 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func outputsToBools(t *testing.T, outs []any) []bool {
+	t.Helper()
+	res := make([]bool, len(outs))
+	for i, o := range outs {
+		b, ok := o.(bool)
+		if !ok {
+			t.Fatalf("output %d has type %T", i, o)
+		}
+		res[i] = b
+	}
+	return res
+}
+
+func TestNativeMIS(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "path", g: graph.Path(10)},
+		{name: "cycle", g: graph.Cycle(9)},
+		{name: "complete", g: graph.Complete(8)},
+		{name: "star", g: graph.Star(12)},
+		{name: "edgeless", g: graph.MustFromEdges(5, nil)},
+		{name: "random", g: graph.RandomBoundedDegree(80, 6, 0.1, rng.New(1))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e, err := congest.NewBroadcastEngine(tt.g, MsgBits(tt.g.N()), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(New(tt.g.N()), MaxRounds(tt.g.N()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllDone {
+				t.Fatal("MIS did not terminate")
+			}
+			if err := Verify(tt.g, outputsToBools(t, res.Outputs)); err != nil {
+				t.Fatalf("invalid MIS: %v", err)
+			}
+		})
+	}
+}
+
+func TestMISCompleteGraphSingleton(t *testing.T) {
+	g := graph.Complete(10)
+	e, _ := congest.NewBroadcastEngine(g, MsgBits(10), 3)
+	res, err := e.Run(New(10), MaxRounds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, o := range res.Outputs {
+		if o.(bool) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("MIS of K10 has %d members, want 1", count)
+	}
+}
+
+func TestMISOverNoisyBeeps(t *testing.T) {
+	g := graph.RandomBoundedDegree(18, 4, 0.2, rng.New(2))
+	runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+		Params:      core.DefaultParams(g.N(), g.MaxDegree(), MsgBits(g.N()), 0.1),
+		ChannelSeed: 8,
+		AlgSeed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(New(g.N()), MaxRounds(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone {
+		t.Fatal("MIS over beeps did not terminate")
+	}
+	if err := Verify(g, outputsToBools(t, res.Outputs)); err != nil {
+		t.Fatalf("invalid MIS over noisy beeps: %v", err)
+	}
+}
+
+func TestVerifyRejectsBadMIS(t *testing.T) {
+	g := graph.Path(4)
+	tests := []struct {
+		name string
+		in   []bool
+	}{
+		{name: "adjacent members", in: []bool{true, true, false, true}},
+		{name: "not maximal", in: []bool{true, false, false, false}},
+		{name: "empty", in: []bool{false, false, false, false}},
+		{name: "wrong length", in: []bool{true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Verify(g, tt.in); err == nil {
+				t.Error("invalid MIS accepted")
+			}
+		})
+	}
+	if err := Verify(g, []bool{true, false, true, false}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	if err := Verify(g, []bool{false, true, false, true}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+}

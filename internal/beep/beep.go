@@ -1,0 +1,349 @@
+// Package beep implements the beeping network models of §1.1: synchronous
+// rounds in which each node either beeps or listens, listeners hear a beep
+// iff at least one neighbor beeped, and — in the noisy model of Ashkenazi,
+// Gelles & Leshem — every received bit is flipped independently with
+// probability ε ∈ [0, ½).
+//
+// Reception follows the paper's §1.5 convention: a node "receives 1" in a
+// round if it beeps itself or hears a beep, and 0 otherwise; in the noisy
+// model this bit is flipped with probability ε (Params.NoisyOwn controls
+// whether a node's own beep is also subject to noise, the paper's
+// simplifying assumption — footnote 2 notes real devices keep their own
+// transmissions noise-free, which "can only help").
+//
+// Two execution paths are provided: a generic round-by-round driver for
+// arbitrary Programs (Run), and a word-parallel batch path for protocols
+// whose beep pattern over a window is fixed up front (RunPhase) — the shape
+// of Algorithm 1's two phases. The two paths are observationally
+// equivalent; TestRunPhaseEquivalence asserts bit-for-bit agreement.
+package beep
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Action is a node's choice for a round.
+type Action uint8
+
+const (
+	// Listen keeps the radio in carrier-sense mode.
+	Listen Action = iota
+	// Beep emits a unary pulse of energy.
+	Beep
+)
+
+// Env is the static information a node program starts with: its identity,
+// the global parameters all nodes are assumed to know (n and Δ, as in the
+// paper), and a private randomness stream.
+type Env struct {
+	ID        int
+	N         int
+	Degree    int
+	MaxDegree int
+	Rng       *rng.Stream
+}
+
+// Program is a per-node beeping protocol driven by the network.
+// Each round, Step is called for the node's action, then Hear delivers the
+// received bit. Once Done reports true the node ceases participation: it
+// neither beeps nor hears.
+type Program interface {
+	Init(env Env)
+	Step(round int) Action
+	Hear(round int, bit bool)
+	Done() bool
+	Output() any
+}
+
+// Params configures a beeping network.
+type Params struct {
+	// Epsilon is the noise probability ε ∈ [0, ½). Zero selects the
+	// noiseless model.
+	Epsilon float64
+	// NoisyOwn applies channel noise to a beeping node's own reception,
+	// matching the paper's analysis convention. When false, a node that
+	// beeps receives a clean 1.
+	NoisyOwn bool
+	// Seed derives all channel randomness.
+	Seed uint64
+	// RecordBeeps retains a per-round bitstring of which nodes beeped,
+	// retrievable via Network.BeepHistory (used by the lower-bound
+	// transcript experiments).
+	RecordBeeps bool
+	// Workers sets the number of goroutines RunPhase uses for the
+	// per-node OR/noise computation (0 or 1 = serial). Results are
+	// bit-identical to the serial path: per-node noise streams are
+	// independent and each worker writes only its own nodes.
+	Workers int
+}
+
+// Network is a beeping network over a fixed graph. It maintains a global
+// round counter across Run and RunPhase calls so that channel noise is a
+// single reproducible stream per node regardless of how execution is
+// batched.
+type Network struct {
+	g      *graph.Graph
+	params Params
+
+	round      int
+	totalBeeps int64
+	noise      []*rng.FlipSampler
+	history    []*bitstring.BitString
+}
+
+// NewNetwork creates a beeping network on g.
+func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
+	if params.Epsilon < 0 || params.Epsilon >= 0.5 {
+		return nil, fmt.Errorf("beep: ε = %v outside [0, 0.5)", params.Epsilon)
+	}
+	return &Network{
+		g:      g,
+		params: params,
+		noise:  make([]*rng.FlipSampler, g.N()),
+	}, nil
+}
+
+// Graph returns the underlying graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Round returns the absolute number of rounds executed so far.
+func (nw *Network) Round() int { return nw.round }
+
+// TotalBeeps returns the total energy spent (number of beeps) so far.
+func (nw *Network) TotalBeeps() int64 { return nw.totalBeeps }
+
+// BeepHistory returns the recorded per-round beep patterns (nil unless
+// Params.RecordBeeps).
+func (nw *Network) BeepHistory() []*bitstring.BitString { return nw.history }
+
+// NodeEnv builds the Env for node v with a private stream derived from the
+// network seed.
+func (nw *Network) NodeEnv(v int) Env {
+	return Env{
+		ID:        v,
+		N:         nw.g.N(),
+		Degree:    nw.g.Degree(v),
+		MaxDegree: nw.g.MaxDegree(),
+		Rng:       rng.New(nw.params.Seed).Split(0x6e6f6465, uint64(v)), // "node"
+	}
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Rounds is the number of rounds consumed by this Run call.
+	Rounds int
+	// AllDone reports whether every program finished before the budget.
+	AllDone bool
+	// Outputs holds each program's Output() at the end of the run.
+	Outputs []any
+}
+
+// Run initializes the programs and drives them round-by-round until all are
+// done or maxRounds rounds elapse. Round numbers passed to programs are
+// local to this call, starting at 0.
+func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
+	if len(progs) != nw.g.N() {
+		return nil, fmt.Errorf("beep: %d programs for %d nodes", len(progs), nw.g.N())
+	}
+	if maxRounds < 0 {
+		return nil, fmt.Errorf("beep: negative round budget %d", maxRounds)
+	}
+	for v, p := range progs {
+		p.Init(nw.NodeEnv(v))
+	}
+	n := nw.g.N()
+	beeped := bitstring.New(n)
+	localRound := 0
+	for ; localRound < maxRounds; localRound++ {
+		if allDone(progs) {
+			break
+		}
+		beeped.Reset()
+		for v, p := range progs {
+			if p.Done() {
+				continue
+			}
+			if p.Step(localRound) == Beep {
+				beeped.Set(v)
+				nw.totalBeeps++
+			}
+		}
+		if nw.params.RecordBeeps {
+			nw.history = append(nw.history, beeped.Clone())
+		}
+		for v, p := range progs {
+			if p.Done() {
+				continue
+			}
+			bit := beeped.Get(v)
+			if !bit {
+				for _, u := range nw.g.Neighbors(v) {
+					if beeped.Get(u) {
+						bit = true
+						break
+					}
+				}
+			}
+			if nw.flipAt(v, nw.round, beeped.Get(v)) {
+				bit = !bit
+			}
+			p.Hear(localRound, bit)
+		}
+		nw.round++
+	}
+	outputs := make([]any, n)
+	for v, p := range progs {
+		outputs[v] = p.Output()
+	}
+	return &Result{Rounds: localRound, AllDone: allDone(progs), Outputs: outputs}, nil
+}
+
+// RunPhase executes a fixed transmission window: node v beeps exactly at
+// the 1-positions of patterns[v] (nil means silent throughout) and listens
+// otherwise. It returns, for each node, the bits received over the window
+// under the model's reception and noise rules. All non-nil patterns must
+// share one length.
+//
+// RunPhase is semantically identical to Run with per-pattern transmit
+// programs but runs word-parallel: the OR over the inclusive neighborhood
+// is computed 64 rounds at a time, and noise is applied by enumerating
+// flip positions with a geometric sampler.
+func (nw *Network) RunPhase(patterns []*bitstring.BitString) ([]*bitstring.BitString, error) {
+	n := nw.g.N()
+	if len(patterns) != n {
+		return nil, fmt.Errorf("beep: %d patterns for %d nodes", len(patterns), n)
+	}
+	length := -1
+	for v, p := range patterns {
+		if p == nil {
+			continue
+		}
+		if length == -1 {
+			length = p.Len()
+		} else if p.Len() != length {
+			return nil, fmt.Errorf("beep: pattern %d has length %d, want %d", v, p.Len(), length)
+		}
+	}
+	if length == -1 {
+		return nil, fmt.Errorf("beep: all patterns nil")
+	}
+
+	for v := 0; v < n; v++ {
+		if patterns[v] != nil {
+			nw.totalBeeps += int64(patterns[v].Ones())
+		}
+	}
+	received := make([]*bitstring.BitString, n)
+	if workers := nw.params.Workers; workers > 1 {
+		// Pre-create noise samplers serially (lazy creation would race).
+		if nw.params.Epsilon > 0 {
+			for v := 0; v < n; v++ {
+				nw.noiseSampler(v)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := w; v < n; v += workers {
+					received[v] = nw.receiveOne(v, patterns, length)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for v := 0; v < n; v++ {
+			received[v] = nw.receiveOne(v, patterns, length)
+		}
+	}
+	if nw.params.RecordBeeps {
+		for t := 0; t < length; t++ {
+			col := bitstring.New(n)
+			for v := 0; v < n; v++ {
+				if patterns[v] != nil && patterns[v].Get(t) {
+					col.Set(v)
+				}
+			}
+			nw.history = append(nw.history, col)
+		}
+	}
+	nw.round += length
+	return received, nil
+}
+
+// receiveOne computes node v's reception for one batch window: the OR
+// over its inclusive neighborhood, then its private noise stream. It
+// touches only v's sampler and output slot, so distinct nodes may run
+// concurrently.
+func (nw *Network) receiveOne(v int, patterns []*bitstring.BitString, length int) *bitstring.BitString {
+	acc := bitstring.New(length)
+	if patterns[v] != nil {
+		acc.OrInPlace(patterns[v])
+	}
+	for _, u := range nw.g.Neighbors(v) {
+		if patterns[u] != nil {
+			acc.OrInPlace(patterns[u])
+		}
+	}
+	if nw.params.Epsilon > 0 {
+		fs := nw.noiseSampler(v)
+		for {
+			abs, ok := fs.Next(nw.round + length)
+			if !ok {
+				break
+			}
+			if abs < nw.round {
+				continue // positions consumed by earlier windows
+			}
+			pos := abs - nw.round
+			beepedSelf := patterns[v] != nil && patterns[v].Get(pos)
+			if beepedSelf && !nw.params.NoisyOwn {
+				continue
+			}
+			acc.Flip(pos)
+		}
+	}
+	return acc
+}
+
+// flipAt reports whether node v's reception at absolute round t is flipped
+// by noise, honoring NoisyOwn for beeping nodes. It must consume sampler
+// positions identically to RunPhase so the two paths agree.
+func (nw *Network) flipAt(v, t int, beepedSelf bool) bool {
+	if nw.params.Epsilon <= 0 {
+		return false
+	}
+	fs := nw.noiseSampler(v)
+	for fs.Peek() < t {
+		fs.Skip()
+	}
+	if fs.Peek() != t {
+		return false
+	}
+	fs.Skip()
+	return !beepedSelf || nw.params.NoisyOwn
+}
+
+func (nw *Network) noiseSampler(v int) *rng.FlipSampler {
+	if nw.noise[v] == nil {
+		stream := rng.New(nw.params.Seed).Split(0x6e6f697365, uint64(v)) // "noise"
+		nw.noise[v] = rng.NewFlipSampler(stream, nw.params.Epsilon)
+	}
+	return nw.noise[v]
+}
+
+func allDone(progs []Program) bool {
+	for _, p := range progs {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}

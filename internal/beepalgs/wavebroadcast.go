@@ -1,0 +1,168 @@
+package beepalgs
+
+import (
+	"fmt"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// WaveBroadcast is the "beep waves" single-source broadcast of Ghaffari &
+// Haeupler, formalized by Czumaj & Davies (§1.2): a b-bit message in
+// O(D + b) noiseless beep rounds.
+//
+// The source launches a marker wave at round 0 and then one wave per
+// 1-bit, at round 3(i+1) for message bit i. Waves propagate one hop per
+// round: every non-source node relays the first beep of each wave and then
+// stays refractory for two rounds, which makes colliding wavefronts
+// annihilate (any late arrival of the same wave falls inside some
+// neighbor's refractory window). A node at BFS distance d hears the marker
+// at round d−1, which calibrates its local clock: message bit i is 1 iff
+// it hears a beep exactly 3(i+1) rounds after the marker.
+//
+// Every node therefore decodes the message after 3(Bits+1) + D rounds —
+// the O(D + b) bound — versus Θ(D·b) for naive per-bit flooding.
+type WaveBroadcast struct {
+	// Source marks the broadcaster; Message/Bits are its payload.
+	Source  bool
+	Message []byte
+	// Bits is the message width (required, > 0).
+	Bits int
+	// DBound upper-bounds the diameter (default N).
+	DBound int
+
+	env       beep.Env
+	total     int
+	marker    int // round the marker was heard (−1 until then)
+	lastRelay int
+	relayAt   int
+	received  []byte
+	finished  bool
+}
+
+var _ beep.Program = (*WaveBroadcast)(nil)
+
+// WaveRounds returns the exact running time 3(bits+1) + dBound.
+func WaveRounds(n, bits, dBound int) int {
+	if dBound <= 0 {
+		dBound = n
+	}
+	return 3*(bits+1) + dBound
+}
+
+// Init implements beep.Program.
+func (wb *WaveBroadcast) Init(env beep.Env) {
+	wb.env = env
+	if wb.DBound <= 0 {
+		wb.DBound = env.N
+	}
+	wb.total = WaveRounds(env.N, wb.Bits, wb.DBound)
+	wb.marker = -1
+	wb.lastRelay = -3
+	wb.relayAt = -1
+	wb.received = make([]byte, (wb.Bits+7)/8)
+	if wb.Source {
+		wb.marker = 0
+		copy(wb.received, wb.Message)
+	}
+}
+
+// Step implements beep.Program.
+func (wb *WaveBroadcast) Step(round int) beep.Action {
+	if wb.Source {
+		if round == 0 {
+			return beep.Beep // marker wave
+		}
+		if round%3 == 0 {
+			i := round/3 - 1
+			if i < wb.Bits && wire.Bit(wb.Message, i) {
+				return beep.Beep
+			}
+		}
+		return beep.Listen
+	}
+	if wb.relayAt == round {
+		wb.lastRelay = round
+		wb.relayAt = -1
+		return beep.Beep
+	}
+	return beep.Listen
+}
+
+// Hear implements beep.Program.
+func (wb *WaveBroadcast) Hear(round int, bit bool) {
+	defer func() {
+		if round == wb.total-1 {
+			wb.finished = true
+		}
+	}()
+	if wb.Source || !bit || round == wb.lastRelay {
+		return
+	}
+	// Refractory: ignore echoes within two rounds of our own relay.
+	if round < wb.lastRelay+2 {
+		return
+	}
+	if wb.marker == -1 {
+		wb.marker = round
+	} else {
+		offset := round - wb.marker
+		if offset%3 == 0 {
+			i := offset/3 - 1
+			if i >= 0 && i < wb.Bits {
+				wire.SetBit(wb.received, i, true)
+			}
+		}
+	}
+	wb.relayAt = round + 1
+}
+
+// Done implements beep.Program.
+func (wb *WaveBroadcast) Done() bool { return wb.finished }
+
+// Output returns the decoded message, or nil if the marker never arrived
+// (disconnected node).
+func (wb *WaveBroadcast) Output() any {
+	if wb.marker == -1 {
+		return []byte(nil)
+	}
+	return wb.received
+}
+
+// NewWaveBroadcast returns per-node programs: node source broadcasts the
+// given message, everyone else listens and relays.
+func NewWaveBroadcast(n, source int, msg []byte, bits, dBound int) []beep.Program {
+	progs := make([]beep.Program, n)
+	for v := range progs {
+		progs[v] = &WaveBroadcast{
+			Source:  v == source,
+			Message: msg,
+			Bits:    bits,
+			DBound:  dBound,
+		}
+	}
+	return progs
+}
+
+// RunWaveBroadcast executes the protocol on a noiseless network and
+// returns each node's decoded message.
+func RunWaveBroadcast(g *graph.Graph, source int, msg []byte, bits, dBound int, seed uint64) ([][]byte, int, error) {
+	if bits <= 0 {
+		return nil, 0, fmt.Errorf("beepalgs: wave broadcast needs bits > 0")
+	}
+	nw, err := beep.NewNetwork(g, beep.Params{Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	progs := NewWaveBroadcast(g.N(), source, msg, bits, dBound)
+	res, err := nw.Run(progs, WaveRounds(g.N(), bits, dBound))
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]byte, g.N())
+	for v, o := range res.Outputs {
+		out[v] = o.([]byte)
+	}
+	return out, res.Rounds, nil
+}

@@ -1,0 +1,338 @@
+// Package bitstring implements fixed-length binary strings packed into
+// 64-bit words, together with the string algebra used throughout the paper
+// "Optimal Message-Passing with Noisy Beeps": logical And/Or/Not/Xor,
+// popcount (the paper's 1(s)), Hamming distance, superimposition ∨(S), and
+// the d-intersection predicate of Definition 2.
+//
+// BitStrings are the in-memory representation of beep transcripts and
+// codewords: bit i is 1 when a beep occurs (or a codeword has a 1) in
+// round/position i.
+package bitstring
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// BitString is a fixed-length sequence of bits. The zero value is an empty
+// (length-0) string; use New to create one of a given length.
+//
+// Bits beyond Len() in the final word are always kept zero; every mutating
+// operation maintains this invariant so that popcount-style queries can
+// operate word-parallel without masking.
+type BitString struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zeros BitString of length n bits.
+// It panics if n is negative.
+func New(n int) *BitString {
+	if n < 0 {
+		panic(fmt.Sprintf("bitstring: negative length %d", n))
+	}
+	return &BitString{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+// FromBools returns a BitString whose i-th bit is 1 iff bits[i] is true.
+func FromBools(bits []bool) *BitString {
+	s := New(len(bits))
+	for i, b := range bits {
+		if b {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// Parse builds a BitString from a textual form such as "01011", where the
+// leftmost character is bit 0. It returns an error on any character other
+// than '0' or '1'.
+func Parse(text string) (*BitString, error) {
+	s := New(len(text))
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '0':
+		case '1':
+			s.Set(i)
+		default:
+			return nil, fmt.Errorf("bitstring: invalid character %q at position %d", text[i], i)
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of bits in s.
+func (s *BitString) Len() int { return s.n }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (s *BitString) Get(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (s *BitString) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// ClearBit sets bit i to 0. It panics if i is out of range.
+func (s *BitString) ClearBit(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetBool sets bit i to v. It panics if i is out of range.
+func (s *BitString) SetBool(i int, v bool) {
+	if v {
+		s.Set(i)
+	} else {
+		s.ClearBit(i)
+	}
+}
+
+// Flip inverts bit i. It panics if i is out of range.
+func (s *BitString) Flip(i int) {
+	s.check(i)
+	s.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+// Reset sets every bit to 0, retaining the length.
+func (s *BitString) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Ones returns the number of 1-bits in s: the paper's 1(s).
+func (s *BitString) Ones() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Zeros returns the number of 0-bits in s.
+func (s *BitString) Zeros() int { return s.n - s.Ones() }
+
+// Clone returns an independent copy of s.
+func (s *BitString) Clone() *BitString {
+	c := &BitString{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t have the same length and bits.
+func (s *BitString) Equal(t *BitString) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And returns the bitwise AND s ∧ t as a new BitString.
+// It panics if lengths differ.
+func (s *BitString) And(t *BitString) *BitString {
+	s.checkLen(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] & t.words[i]
+	}
+	return r
+}
+
+// Or returns the bitwise OR s ∨ t as a new BitString.
+// It panics if lengths differ.
+func (s *BitString) Or(t *BitString) *BitString {
+	s.checkLen(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] | t.words[i]
+	}
+	return r
+}
+
+// Xor returns the bitwise XOR s ⊕ t as a new BitString.
+// It panics if lengths differ.
+func (s *BitString) Xor(t *BitString) *BitString {
+	s.checkLen(t)
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = s.words[i] ^ t.words[i]
+	}
+	return r
+}
+
+// Not returns the bitwise complement ¬s as a new BitString.
+func (s *BitString) Not() *BitString {
+	r := New(s.n)
+	for i := range s.words {
+		r.words[i] = ^s.words[i]
+	}
+	r.maskTail()
+	return r
+}
+
+// OrInPlace sets s = s ∨ t. It panics if lengths differ.
+func (s *BitString) OrInPlace(t *BitString) {
+	s.checkLen(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// XorInPlace sets s = s ⊕ t. It panics if lengths differ.
+func (s *BitString) XorInPlace(t *BitString) {
+	s.checkLen(t)
+	for i := range s.words {
+		s.words[i] ^= t.words[i]
+	}
+}
+
+// AndCount returns 1(s ∧ t) without allocating. It panics if lengths differ.
+func (s *BitString) AndCount(t *BitString) int {
+	s.checkLen(t)
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w & t.words[i])
+	}
+	return total
+}
+
+// AndNotCount returns 1(s ∧ ¬t) without allocating: the number of positions
+// where s has a 1 and t has a 0. This is the workhorse of the §4 membership
+// test (codeword vs. complement of the heard transcript).
+// It panics if lengths differ.
+func (s *BitString) AndNotCount(t *BitString) int {
+	s.checkLen(t)
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w &^ t.words[i])
+	}
+	return total
+}
+
+// HammingDistance returns d_H(s, t), the number of positions where s and t
+// differ. It panics if lengths differ.
+func (s *BitString) HammingDistance(t *BitString) int {
+	s.checkLen(t)
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w ^ t.words[i])
+	}
+	return total
+}
+
+// Intersects reports whether s d-intersects t per Definition 2:
+// 1(s ∧ t) ≥ d. It panics if lengths differ.
+func (s *BitString) Intersects(t *BitString, d int) bool {
+	return s.AndCount(t) >= d
+}
+
+// OnesPositions returns the sorted positions of all 1-bits.
+func (s *BitString) OnesPositions() []int {
+	out := make([]int, 0, s.Ones())
+	for wi, w := range s.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+tz)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// OnePosition returns the position of the i-th 1-bit (0-indexed), matching
+// the paper's Notation 7 ("1_i(s)" with 1-indexing shifted down by one).
+// The second return value is false if s has at most i ones (the paper's
+// Null case).
+func (s *BitString) OnePosition(i int) (int, bool) {
+	if i < 0 {
+		return 0, false
+	}
+	seen := 0
+	for wi, w := range s.words {
+		c := bits.OnesCount64(w)
+		if seen+c <= i {
+			seen += c
+			continue
+		}
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if seen == i {
+				return wi*wordBits + tz, true
+			}
+			seen++
+			w &= w - 1
+		}
+	}
+	return 0, false
+}
+
+// String renders s as a string of '0'/'1' characters, bit 0 first.
+func (s *BitString) String() string {
+	var sb strings.Builder
+	sb.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Words exposes the backing words of s for word-parallel batch operations
+// (the beep engine's vectorized phase path). The final word's unused high
+// bits are guaranteed zero. The returned slice aliases s; callers that
+// mutate it must preserve the tail invariant (see MaskTail).
+func (s *BitString) Words() []uint64 { return s.words }
+
+// MaskTail zeroes any bits beyond Len() in the final word, restoring the
+// representation invariant after direct Words() mutation.
+func (s *BitString) MaskTail() { s.maskTail() }
+
+// Superimpose returns ∨(S), the bitwise OR of all strings in set, matching
+// the paper's §1.5 shorthand. All strings must share one length; it panics
+// otherwise. Superimpose of an empty set returns nil.
+func Superimpose(set []*BitString) *BitString {
+	if len(set) == 0 {
+		return nil
+	}
+	r := set[0].Clone()
+	for _, s := range set[1:] {
+		r.OrInPlace(s)
+	}
+	return r
+}
+
+func (s *BitString) maskTail() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+func (s *BitString) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+func (s *BitString) checkLen(t *BitString) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstring: length mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }

@@ -1,0 +1,216 @@
+// Package codes implements the binary codes of the paper's §2: beep codes
+// (Definition 3, the novel superimposed codes built by Theorem 4), distance
+// codes (Definition 5 / Lemma 6), the combined code CD(r,m) of Notation 7
+// (Figure 1), and the classic Kautz–Singleton superimposed code that the
+// paper's §1.4 argues is too long for this application.
+//
+// Two beep-code families are provided:
+//
+//   - RandomBeepCode follows Theorem 4's construction exactly: each
+//     codeword is uniform among weight-W strings of length B. It is used to
+//     verify the Definition 3 superimposition property empirically.
+//   - BlockedBeepCode places exactly one 1 per length-BlockSize block, at a
+//     PRG-derived offset. It has the same weight, the same expected pairwise
+//     intersections (Binomial(W, 1/BlockSize)), and O(1) position lookup
+//     with O(1) memory, which lets simulator nodes work position-wise
+//     without materializing b-bit strings. It is the pipeline default
+//     (substitution #3 in DESIGN.md).
+package codes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstring"
+	"repro/internal/rng"
+)
+
+// BeepCode is a superimposed code with M constant-weight codewords. For
+// every implementation in this package, Position(cw, i) is strictly
+// increasing in i, so codewords can be traversed position-wise.
+type BeepCode interface {
+	// Length returns b, the codeword length in bits (beep rounds).
+	Length() int
+	// Weight returns W, the number of 1s in every codeword.
+	Weight() int
+	// NumCodewords returns M, the size of the codebook.
+	NumCodewords() int
+	// Position returns the absolute position of the i-th 1 (0 <= i < W)
+	// of codeword cw (0 <= cw < M).
+	Position(cw, i int) int
+	// Codeword materializes codeword cw as a bitstring.
+	Codeword(cw int) *bitstring.BitString
+}
+
+// BlockedBeepCode is the O(1)-lookup beep code: length W·BlockSize, one 1
+// per block, offsets derived from a public seed. Two distinct codewords
+// collide in each block independently with probability 1/BlockSize.
+type BlockedBeepCode struct {
+	weight    int
+	blockSize int
+	m         int
+	seed      uint64
+}
+
+// NewBlockedBeepCode constructs a blocked beep code with the given weight
+// (number of blocks), block size, codebook size m, and public seed.
+func NewBlockedBeepCode(weight, blockSize, m int, seed uint64) (*BlockedBeepCode, error) {
+	if weight <= 0 || blockSize <= 1 || m <= 0 {
+		return nil, fmt.Errorf("codes: invalid blocked beep code (weight=%d blockSize=%d m=%d)",
+			weight, blockSize, m)
+	}
+	return &BlockedBeepCode{weight: weight, blockSize: blockSize, m: m, seed: seed}, nil
+}
+
+// Length returns b = W·BlockSize.
+func (c *BlockedBeepCode) Length() int { return c.weight * c.blockSize }
+
+// Weight returns W.
+func (c *BlockedBeepCode) Weight() int { return c.weight }
+
+// BlockSize returns the number of positions per block.
+func (c *BlockedBeepCode) BlockSize() int { return c.blockSize }
+
+// NumCodewords returns M.
+func (c *BlockedBeepCode) NumCodewords() int { return c.m }
+
+// Offset returns the within-block offset of codeword cw's 1 in block i.
+func (c *BlockedBeepCode) Offset(cw, i int) int {
+	return int(rng.Mix(c.seed, uint64(cw), uint64(i)) % uint64(c.blockSize))
+}
+
+// Position returns the absolute position of codeword cw's 1 in block i.
+func (c *BlockedBeepCode) Position(cw, i int) int {
+	return i*c.blockSize + c.Offset(cw, i)
+}
+
+// Codeword materializes codeword cw.
+func (c *BlockedBeepCode) Codeword(cw int) *bitstring.BitString {
+	s := bitstring.New(c.Length())
+	for i := 0; i < c.weight; i++ {
+		s.Set(c.Position(cw, i))
+	}
+	return s
+}
+
+var _ BeepCode = (*BlockedBeepCode)(nil)
+
+// RandomBeepCode is Theorem 4's construction: M codewords drawn uniformly
+// among weight-W strings of length B, materialized as sorted position
+// lists.
+type RandomBeepCode struct {
+	length    int
+	weight    int
+	positions [][]int32
+}
+
+// NewRandomBeepCode draws an M-codeword code of length b and weight w from
+// stream r.
+func NewRandomBeepCode(b, w, m int, r *rng.Stream) (*RandomBeepCode, error) {
+	if w <= 0 || b < w || m <= 0 {
+		return nil, fmt.Errorf("codes: invalid random beep code (b=%d w=%d m=%d)", b, w, m)
+	}
+	c := &RandomBeepCode{length: b, weight: w, positions: make([][]int32, m)}
+	for cw := range c.positions {
+		sample := r.SampleDistinct(b, w)
+		sort.Ints(sample)
+		ps := make([]int32, w)
+		for i, p := range sample {
+			ps[i] = int32(p)
+		}
+		c.positions[cw] = ps
+	}
+	return c, nil
+}
+
+// Length returns b.
+func (c *RandomBeepCode) Length() int { return c.length }
+
+// Weight returns W.
+func (c *RandomBeepCode) Weight() int { return c.weight }
+
+// NumCodewords returns M.
+func (c *RandomBeepCode) NumCodewords() int { return len(c.positions) }
+
+// Position returns the position of the i-th 1 of codeword cw.
+func (c *RandomBeepCode) Position(cw, i int) int { return int(c.positions[cw][i]) }
+
+// Codeword materializes codeword cw.
+func (c *RandomBeepCode) Codeword(cw int) *bitstring.BitString {
+	s := bitstring.New(c.length)
+	for _, p := range c.positions[cw] {
+		s.Set(int(p))
+	}
+	return s
+}
+
+var _ BeepCode = (*RandomBeepCode)(nil)
+
+// SuperimpositionCheck reports how often a random size-k superimposition
+// of codewords d-intersects some codeword outside the set — the quantity
+// Definition 3 bounds. For each of trials rounds it samples a size-k subset
+// S of the codebook, superimposes it, and counts it bad if any codeword
+// outside S d-intersects ∨(S). It returns the fraction of bad subsets.
+//
+// Checking against all M−k outside codewords is exponential in the paper
+// (2^a codewords); here M is explicit so the check is exact per subset.
+func SuperimpositionCheck(c BeepCode, k, d, trials int, r *rng.Stream) (badFraction float64, err error) {
+	m := c.NumCodewords()
+	if k <= 0 || k >= m {
+		return 0, fmt.Errorf("codes: superimposition check needs 0 < k < M, got k=%d M=%d", k, m)
+	}
+	if trials <= 0 {
+		return 0, fmt.Errorf("codes: trials must be positive")
+	}
+	bad := 0
+	for t := 0; t < trials; t++ {
+		subset := r.SampleDistinct(m, k)
+		inSet := make(map[int]bool, k)
+		sup := bitstring.New(c.Length())
+		for _, cw := range subset {
+			inSet[cw] = true
+			for i := 0; i < c.Weight(); i++ {
+				sup.Set(c.Position(cw, i))
+			}
+		}
+		for cw := 0; cw < m; cw++ {
+			if inSet[cw] {
+				continue
+			}
+			count := 0
+			for i := 0; i < c.Weight(); i++ {
+				if sup.Get(c.Position(cw, i)) {
+					count++
+					if count >= d {
+						break
+					}
+				}
+			}
+			if count >= d {
+				bad++
+				break
+			}
+		}
+	}
+	return float64(bad) / float64(trials), nil
+}
+
+// PairwiseIntersection returns 1(C(a) ∧ C(b)) by merging position lists.
+func PairwiseIntersection(c BeepCode, a, b int) int {
+	count := 0
+	i, j := 0, 0
+	for i < c.Weight() && j < c.Weight() {
+		pa, pb := c.Position(a, i), c.Position(b, j)
+		switch {
+		case pa == pb:
+			count++
+			i++
+			j++
+		case pa < pb:
+			i++
+		default:
+			j++
+		}
+	}
+	return count
+}

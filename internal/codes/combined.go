@@ -1,0 +1,72 @@
+package codes
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitstring"
+)
+
+// Combined builds CD(r, m) per Notation 7: the distance codeword dist is
+// written into the positions where beep codeword cw of code c has a 1, and
+// every other position is 0 (Figure 1). dist must have exactly c.Weight()
+// bits (the paper guarantees this: beep codewords contain exactly
+// c_ε²γ·log n ones, the distance-code length).
+func Combined(c BeepCode, cw int, dist *bitstring.BitString) (*bitstring.BitString, error) {
+	if dist.Len() != c.Weight() {
+		return nil, fmt.Errorf("codes: distance codeword has %d bits, beep code weight is %d",
+			dist.Len(), c.Weight())
+	}
+	out := bitstring.New(c.Length())
+	for i := 0; i < c.Weight(); i++ {
+		if dist.Get(i) {
+			out.Set(c.Position(cw, i))
+		}
+	}
+	return out, nil
+}
+
+// ExtractSubsequence reads the paper's y_{v,w}: the bits of a phase-2
+// observation obs at the one-positions of beep codeword cw, in order. The
+// result has c.Weight() bits.
+func ExtractSubsequence(c BeepCode, cw int, obs *bitstring.BitString) *bitstring.BitString {
+	out := bitstring.New(c.Weight())
+	for i := 0; i < c.Weight(); i++ {
+		if obs.Get(c.Position(cw, i)) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// RenderCombined reproduces Figure 1 as text: the beep codeword C(r), the
+// distance codeword D(m) aligned under C(r)'s one-positions, and the
+// resulting combined codeword CD(r,m). dist must have exactly beepWord.Ones()
+// bits.
+func RenderCombined(beepWord, dist *bitstring.BitString) (string, error) {
+	if dist.Len() != beepWord.Ones() {
+		return "", fmt.Errorf("codes: D(m) has %d bits but C(r) has %d ones", dist.Len(), beepWord.Ones())
+	}
+	var cLine, dLine, cdLine strings.Builder
+	di := 0
+	for i := 0; i < beepWord.Len(); i++ {
+		if beepWord.Get(i) {
+			cLine.WriteByte('1')
+			if dist.Get(di) {
+				dLine.WriteByte('1')
+				cdLine.WriteByte('1')
+			} else {
+				dLine.WriteByte('0')
+				cdLine.WriteByte('0')
+			}
+			di++
+		} else {
+			cLine.WriteByte('0')
+			dLine.WriteByte(' ')
+			cdLine.WriteByte('0')
+		}
+	}
+	return "C(r)     = " + cLine.String() + "\n" +
+		"D(m)     = " + dLine.String() + "\n" +
+		"CD(r,m)  = " + cdLine.String() + "\n", nil
+}

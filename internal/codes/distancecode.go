@@ -1,0 +1,231 @@
+package codes
+
+import (
+	"fmt"
+
+	"repro/internal/bitstring"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// DistanceCode encodes fixed-width messages into codewords far apart in
+// Hamming distance (Definition 5), decoded from partially-trusted
+// observations.
+//
+// Decode receives the observed bits obs (one per codeword position) and a
+// reliability mask solo: position j is "solo" when the §4 analysis
+// guarantees it carries only the sender's bit plus channel noise (no other
+// neighbor of the listener beeps there). Decoders weight solo positions and
+// fall back to the unreliable ones only when necessary.
+type DistanceCode interface {
+	// MessageBits returns the message width a in bits.
+	MessageBits() int
+	// Length returns the codeword length in bits.
+	Length() int
+	// Encode maps a message (little-endian bit packing, at least
+	// MessageBits bits significant) to its codeword.
+	Encode(msg []byte) *bitstring.BitString
+	// Decode estimates the transmitted message from observation obs with
+	// reliability mask solo. Both must have Length() bits.
+	Decode(obs, solo *bitstring.BitString) []byte
+}
+
+// RepetitionCode is the pipeline's practical distance code (substitution
+// #4 in DESIGN.md): each message bit is carried by Reps positions assigned
+// via a fixed pseudorandom permutation, and decoded by per-bit majority
+// over solo positions. Distinct messages differ in at least Reps positions.
+type RepetitionCode struct {
+	msgBits int
+	reps    int
+	bitFor  []int32 // position -> message bit index
+	byBit   [][]int32
+	// fallbackNum/fallbackDen: when a bit has no solo positions, declare 1
+	// only if ones > (num/den)·count over all its positions. The threshold
+	// is above 1/2 because non-solo interference is one-sided (a colliding
+	// beep can only turn a 0 into a 1, never the reverse).
+	fallbackNum, fallbackDen int
+}
+
+// NewRepetitionCode builds a repetition distance code with msgBits message
+// bits and reps positions per bit, using seed for the position permutation.
+func NewRepetitionCode(msgBits, reps int, seed uint64) (*RepetitionCode, error) {
+	if msgBits <= 0 || reps <= 0 {
+		return nil, fmt.Errorf("codes: invalid repetition code (msgBits=%d reps=%d)", msgBits, reps)
+	}
+	length := msgBits * reps
+	perm := rng.New(seed).Perm(length)
+	c := &RepetitionCode{
+		msgBits:     msgBits,
+		reps:        reps,
+		bitFor:      make([]int32, length),
+		byBit:       make([][]int32, msgBits),
+		fallbackNum: 7,
+		fallbackDen: 10,
+	}
+	for pos, p := range perm {
+		bit := int32(p % msgBits)
+		c.bitFor[pos] = bit
+		c.byBit[bit] = append(c.byBit[bit], int32(pos))
+	}
+	return c, nil
+}
+
+// MessageBits returns the message width.
+func (c *RepetitionCode) MessageBits() int { return c.msgBits }
+
+// Length returns msgBits·reps.
+func (c *RepetitionCode) Length() int { return c.msgBits * c.reps }
+
+// Reps returns the number of positions per message bit.
+func (c *RepetitionCode) Reps() int { return c.reps }
+
+// Encode maps msg to its codeword.
+func (c *RepetitionCode) Encode(msg []byte) *bitstring.BitString {
+	out := bitstring.New(c.Length())
+	for pos := range c.bitFor {
+		if wire.Bit(msg, int(c.bitFor[pos])) {
+			out.Set(pos)
+		}
+	}
+	return out
+}
+
+// Decode recovers the message bit-by-bit: majority over solo positions,
+// falling back to a one-sided-biased threshold over all positions for bits
+// with no solo coverage.
+func (c *RepetitionCode) Decode(obs, solo *bitstring.BitString) []byte {
+	out := make([]byte, (c.msgBits+7)/8)
+	for bit := 0; bit < c.msgBits; bit++ {
+		ones, zeros := 0, 0
+		for _, pos := range c.byBit[bit] {
+			if !solo.Get(int(pos)) {
+				continue
+			}
+			if obs.Get(int(pos)) {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+		var value bool
+		if ones+zeros > 0 {
+			value = ones > zeros
+		} else {
+			// No solo position for this bit: use every position with a
+			// threshold biased against collision-induced false 1s.
+			total := 0
+			for _, pos := range c.byBit[bit] {
+				total++
+				if obs.Get(int(pos)) {
+					ones++
+				}
+			}
+			value = ones*c.fallbackDen > c.fallbackNum*total
+		}
+		if value {
+			wire.SetBit(out, bit, true)
+		}
+	}
+	return out
+}
+
+var _ DistanceCode = (*RepetitionCode)(nil)
+
+// maxRandomCodeBits caps the message space of RandomDistanceCode; its
+// decoder and storage are exponential in the message width by design
+// (matching the paper's brute-force decoding).
+const maxRandomCodeBits = 20
+
+// RandomDistanceCode is Lemma 6's construction: 2^a codewords of length b
+// with i.i.d. uniform bits, decoded by minimum Hamming distance restricted
+// to solo positions. Message spaces are capped at 2^20.
+type RandomDistanceCode struct {
+	msgBits   int
+	length    int
+	codewords []*bitstring.BitString
+}
+
+// NewRandomDistanceCode draws a random (msgBits, ·)-distance code of the
+// given length from stream r.
+func NewRandomDistanceCode(msgBits, length int, r *rng.Stream) (*RandomDistanceCode, error) {
+	if msgBits <= 0 || msgBits > maxRandomCodeBits {
+		return nil, fmt.Errorf("codes: random distance code msgBits=%d outside (0,%d]", msgBits, maxRandomCodeBits)
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("codes: random distance code length=%d", length)
+	}
+	m := 1 << uint(msgBits)
+	c := &RandomDistanceCode{msgBits: msgBits, length: length, codewords: make([]*bitstring.BitString, m)}
+	for i := range c.codewords {
+		s := bitstring.New(length)
+		for j := 0; j < length; j++ {
+			if r.Bool(0.5) {
+				s.Set(j)
+			}
+		}
+		c.codewords[i] = s
+	}
+	return c, nil
+}
+
+// MessageBits returns a.
+func (c *RandomDistanceCode) MessageBits() int { return c.msgBits }
+
+// Length returns b.
+func (c *RandomDistanceCode) Length() int { return c.length }
+
+// Encode maps msg to its codeword.
+func (c *RandomDistanceCode) Encode(msg []byte) *bitstring.BitString {
+	return c.codewords[c.index(msg)].Clone()
+}
+
+// Decode returns the message whose codeword minimizes Hamming distance to
+// obs over solo positions (ties broken toward the smaller message). If no
+// position is solo, the distance is taken over all positions.
+func (c *RandomDistanceCode) Decode(obs, solo *bitstring.BitString) []byte {
+	mask := solo
+	if solo.Ones() == 0 {
+		mask = solo.Not() // all positions
+	}
+	best, bestDist := 0, c.length+1
+	for i, cw := range c.codewords {
+		d := cw.Xor(obs).AndCount(mask)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	out := make([]byte, (c.msgBits+7)/8)
+	for bit := 0; bit < c.msgBits; bit++ {
+		if best&(1<<uint(bit)) != 0 {
+			wire.SetBit(out, bit, true)
+		}
+	}
+	return out
+}
+
+// MinDistance computes the exact minimum pairwise Hamming distance of the
+// code, the quantity Lemma 6 lower-bounds by δb. It is quadratic in the
+// codebook size.
+func (c *RandomDistanceCode) MinDistance() int {
+	min := c.length + 1
+	for i := 0; i < len(c.codewords); i++ {
+		for j := i + 1; j < len(c.codewords); j++ {
+			if d := c.codewords[i].HammingDistance(c.codewords[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+func (c *RandomDistanceCode) index(msg []byte) int {
+	idx := 0
+	for bit := 0; bit < c.msgBits; bit++ {
+		if wire.Bit(msg, bit) {
+			idx |= 1 << uint(bit)
+		}
+	}
+	return idx
+}
+
+var _ DistanceCode = (*RandomDistanceCode)(nil)

@@ -1,0 +1,231 @@
+package codes
+
+import (
+	"testing"
+
+	"repro/internal/bitstring"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+func encodeMsg(bits int, value uint64) []byte {
+	var w wire.Writer
+	w.WriteUint(value, bits)
+	return w.PaddedBytes(bits)
+}
+
+func TestRepetitionCodeShape(t *testing.T) {
+	c, err := NewRepetitionCode(16, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MessageBits() != 16 || c.Length() != 144 || c.Reps() != 9 {
+		t.Fatalf("shape: bits=%d len=%d reps=%d", c.MessageBits(), c.Length(), c.Reps())
+	}
+}
+
+func TestRepetitionCodeValidation(t *testing.T) {
+	if _, err := NewRepetitionCode(0, 3, 1); err == nil {
+		t.Error("msgBits=0 did not fail")
+	}
+	if _, err := NewRepetitionCode(4, 0, 1); err == nil {
+		t.Error("reps=0 did not fail")
+	}
+}
+
+func TestRepetitionEncodeWeight(t *testing.T) {
+	c, _ := NewRepetitionCode(8, 5, 2)
+	// Message with 3 ones -> codeword with exactly 15 ones.
+	msg := encodeMsg(8, 0b10110000)
+	if got := c.Encode(msg).Ones(); got != 15 {
+		t.Errorf("codeword weight = %d, want 15", got)
+	}
+	if got := c.Encode(encodeMsg(8, 0)).Ones(); got != 0 {
+		t.Errorf("all-zero message codeword weight = %d", got)
+	}
+}
+
+func TestRepetitionRoundTripClean(t *testing.T) {
+	c, _ := NewRepetitionCode(12, 7, 3)
+	allSolo := bitstring.New(c.Length()).Not()
+	for _, v := range []uint64{0, 1, 0xfff, 0xa5a, 0x0f0} {
+		msg := encodeMsg(12, v)
+		got := c.Decode(c.Encode(msg), allSolo)
+		if !wire.Equal(got, msg, 12) {
+			t.Errorf("round trip of %#x failed: got %v", v, got)
+		}
+	}
+}
+
+func TestRepetitionDecodeUnderNoise(t *testing.T) {
+	// Flip 10% of positions uniformly; majority over 15 reps must recover.
+	c, _ := NewRepetitionCode(16, 15, 4)
+	allSolo := bitstring.New(c.Length()).Not()
+	r := rng.New(5)
+	failures := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		v := r.Uint64() & 0xffff
+		msg := encodeMsg(16, v)
+		obs := c.Encode(msg)
+		fs := rng.NewFlipSampler(r, 0.10)
+		for {
+			p, ok := fs.Next(c.Length())
+			if !ok {
+				break
+			}
+			obs.Flip(p)
+		}
+		if !wire.Equal(c.Decode(obs, allSolo), msg, 16) {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Errorf("%d/%d decode failures at ε=0.10, want <= 2", failures, trials)
+	}
+}
+
+func TestRepetitionDecodeWithOneSidedCorruption(t *testing.T) {
+	// Non-solo positions are forced to 1 (collision semantics: another
+	// beeping node can only add energy). Solo-restricted decoding must
+	// ignore them entirely.
+	c, _ := NewRepetitionCode(8, 9, 6)
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		v := r.Uint64() & 0xff
+		msg := encodeMsg(8, v)
+		obs := c.Encode(msg)
+		solo := bitstring.New(c.Length()).Not()
+		// Corrupt a third of positions: set to 1, mark non-solo.
+		for i := 0; i < c.Length(); i += 3 {
+			obs.Set(i)
+			solo.ClearBit(i)
+		}
+		if got := c.Decode(obs, solo); !wire.Equal(got, msg, 8) {
+			t.Fatalf("trial %d: decode with one-sided corruption failed for %#x", trial, v)
+		}
+	}
+}
+
+func TestRepetitionFallbackWhenNoSolo(t *testing.T) {
+	// With no solo positions at all, the biased fallback must still decode
+	// a clean observation (ones fraction is 0 or 1 per bit).
+	c, _ := NewRepetitionCode(8, 9, 8)
+	noSolo := bitstring.New(c.Length())
+	msg := encodeMsg(8, 0xc3)
+	if got := c.Decode(c.Encode(msg), noSolo); !wire.Equal(got, msg, 8) {
+		t.Errorf("fallback decode failed: got %v", got)
+	}
+}
+
+func TestRandomDistanceCodeMinDistance(t *testing.T) {
+	// Lemma 6 with δ = 1/3, c_δ = 12(1-2δ)^{-2} = 108: length 108a gives
+	// min distance >= b/3 w.h.p. Verified exhaustively for a = 8.
+	const a = 8
+	length := 108 * a
+	c, err := NewRandomDistanceCode(a, length, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := c.MinDistance()
+	if min < length/3 {
+		t.Errorf("min distance = %d < δb = %d (Lemma 6 violated)", min, length/3)
+	}
+}
+
+func TestRandomDistanceCodeValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewRandomDistanceCode(0, 10, r); err == nil {
+		t.Error("msgBits=0 did not fail")
+	}
+	if _, err := NewRandomDistanceCode(21, 10, r); err == nil {
+		t.Error("msgBits=21 did not fail (cap)")
+	}
+	if _, err := NewRandomDistanceCode(4, 0, r); err == nil {
+		t.Error("length=0 did not fail")
+	}
+}
+
+func TestRandomDistanceCodeRoundTrip(t *testing.T) {
+	c, _ := NewRandomDistanceCode(8, 96, rng.New(10))
+	allSolo := bitstring.New(96).Not()
+	for v := uint64(0); v < 256; v += 17 {
+		msg := encodeMsg(8, v)
+		if got := c.Decode(c.Encode(msg), allSolo); !wire.Equal(got, msg, 8) {
+			t.Errorf("round trip of %#x failed", v)
+		}
+	}
+}
+
+func TestRandomDistanceCodeDecodeUnderNoise(t *testing.T) {
+	c, _ := NewRandomDistanceCode(8, 96, rng.New(11))
+	allSolo := bitstring.New(96).Not()
+	r := rng.New(12)
+	failures := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		v := r.Uint64() & 0xff
+		msg := encodeMsg(8, v)
+		obs := c.Encode(msg)
+		fs := rng.NewFlipSampler(r, 0.15)
+		for {
+			p, ok := fs.Next(96)
+			if !ok {
+				break
+			}
+			obs.Flip(p)
+		}
+		if !wire.Equal(c.Decode(obs, allSolo), msg, 8) {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Errorf("%d/%d min-distance decode failures at ε=0.15", failures, trials)
+	}
+}
+
+func TestRandomDistanceCodeSoloRestriction(t *testing.T) {
+	// Distance restricted to solo positions: corrupting only non-solo
+	// positions must never change the decoding.
+	c, _ := NewRandomDistanceCode(6, 72, rng.New(13))
+	msg := encodeMsg(6, 0x2a)
+	obs := c.Encode(msg)
+	solo := bitstring.New(72).Not()
+	for i := 0; i < 72; i += 2 {
+		obs.Flip(i)
+		solo.ClearBit(i)
+	}
+	if got := c.Decode(obs, solo); !wire.Equal(got, msg, 6) {
+		t.Errorf("solo-restricted decode failed: got %v", got)
+	}
+}
+
+func TestRandomDistanceCodeNoSoloFallsBackToAll(t *testing.T) {
+	c, _ := NewRandomDistanceCode(6, 72, rng.New(14))
+	msg := encodeMsg(6, 0x15)
+	obs := c.Encode(msg)
+	noSolo := bitstring.New(72)
+	if got := c.Decode(obs, noSolo); !wire.Equal(got, msg, 6) {
+		t.Errorf("no-solo fallback decode failed: got %v", got)
+	}
+}
+
+func BenchmarkRepetitionDecode(b *testing.B) {
+	c, _ := NewRepetitionCode(32, 15, 1)
+	allSolo := bitstring.New(c.Length()).Not()
+	obs := c.Encode(encodeMsg(32, 0xdeadbeef))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Decode(obs, allSolo)
+	}
+}
+
+func BenchmarkRandomDistanceDecode(b *testing.B) {
+	c, _ := NewRandomDistanceCode(10, 120, rng.New(1))
+	allSolo := bitstring.New(120).Not()
+	obs := c.Encode(encodeMsg(10, 123))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Decode(obs, allSolo)
+	}
+}

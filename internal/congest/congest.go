@@ -1,0 +1,185 @@
+// Package congest implements the message-passing models the paper
+// simulates: Broadcast CONGEST (every node sends one O(log n)-bit message
+// per round to all neighbors) and CONGEST (per-neighbor messages). Both
+// engines enforce the bandwidth limit and run algorithms written against
+// small state-machine interfaces, so the same algorithm can execute
+// natively here or under the beep-level simulation of internal/core.
+//
+// Broadcast CONGEST delivery semantics: each round a node receives the
+// multiset of its neighbors' messages, unordered and without sender
+// attribution (canonically sorted for determinism). This is deliberately
+// the weakest delivery the beeping simulation can guarantee — the paper's
+// footnote 1 notes that codewords cannot be attributed to specific
+// neighbors — and algorithms embed IDs in-band when they need them, as
+// the paper's Algorithm 3 does. CONGEST algorithms, by contrast, address
+// and receive messages by neighbor ID.
+package congest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Message is a bandwidth-limited message. A nil Message means "send
+// nothing this round"; note that an all-zero message is distinct from nil.
+type Message []byte
+
+// Env is the static per-node information either engine provides.
+type Env struct {
+	ID        int
+	N         int
+	Degree    int
+	MaxDegree int
+	// MsgBits is the bandwidth: messages may carry at most this many bits.
+	MsgBits int
+	// Rng is the node's private randomness.
+	Rng *rng.Stream
+}
+
+// NodeStream derives the canonical per-node algorithm randomness for a
+// given experiment seed. The native engines and the beep-level simulator
+// both use it, so an algorithm run under either executes identically.
+func NodeStream(seed uint64, node int) *rng.Stream {
+	return rng.New(seed).Split(0x616c67, uint64(node)) // "alg"
+}
+
+// BroadcastAlgorithm is a per-node program for Broadcast CONGEST.
+// Each round the engine calls Broadcast for the node's message (nil to
+// stay silent), then Receive with the neighbors' messages. A node whose
+// Done returns true stops sending and receiving.
+type BroadcastAlgorithm interface {
+	Init(env Env)
+	Broadcast(round int) Message
+	Receive(round int, msgs []Message)
+	Done() bool
+	Output() any
+}
+
+// Result summarizes an engine run.
+type Result struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// AllDone reports whether every node terminated within the budget.
+	AllDone bool
+	// Outputs holds each node's Output().
+	Outputs []any
+	// Messages counts messages sent across the run.
+	Messages int64
+}
+
+// BroadcastEngine runs BroadcastAlgorithms natively.
+type BroadcastEngine struct {
+	g       *graph.Graph
+	msgBits int
+	seed    uint64
+}
+
+// NewBroadcastEngine creates an engine over g with the given bandwidth in
+// bits per message.
+func NewBroadcastEngine(g *graph.Graph, msgBits int, seed uint64) (*BroadcastEngine, error) {
+	if msgBits <= 0 {
+		return nil, fmt.Errorf("congest: bandwidth %d bits", msgBits)
+	}
+	return &BroadcastEngine{g: g, msgBits: msgBits, seed: seed}, nil
+}
+
+// Env builds node v's environment.
+func (e *BroadcastEngine) Env(v int) Env {
+	return Env{
+		ID:        v,
+		N:         e.g.N(),
+		Degree:    e.g.Degree(v),
+		MaxDegree: e.g.MaxDegree(),
+		MsgBits:   e.msgBits,
+		Rng:       NodeStream(e.seed, v),
+	}
+}
+
+// Run initializes and drives the algorithms until all are done or
+// maxRounds communication rounds elapse.
+func (e *BroadcastEngine) Run(algs []BroadcastAlgorithm, maxRounds int) (*Result, error) {
+	n := e.g.N()
+	if len(algs) != n {
+		return nil, fmt.Errorf("congest: %d algorithms for %d nodes", len(algs), n)
+	}
+	for v, a := range algs {
+		a.Init(e.Env(v))
+	}
+	res := &Result{}
+	sent := make([]Message, n)
+	for round := 0; round < maxRounds; round++ {
+		if broadcastAllDone(algs) {
+			break
+		}
+		for v, a := range algs {
+			sent[v] = nil
+			if a.Done() {
+				continue
+			}
+			m := a.Broadcast(round)
+			if m == nil {
+				continue
+			}
+			if err := CheckWidth(m, e.msgBits); err != nil {
+				return nil, fmt.Errorf("congest: node %d round %d: %w", v, round, err)
+			}
+			sent[v] = m
+			res.Messages++
+		}
+		for v, a := range algs {
+			if a.Done() {
+				continue
+			}
+			var inbox []Message
+			for _, u := range e.g.Neighbors(v) {
+				if sent[u] != nil {
+					inbox = append(inbox, sent[u])
+				}
+			}
+			SortMessages(inbox)
+			a.Receive(round, inbox)
+		}
+		res.Rounds++
+	}
+	res.AllDone = broadcastAllDone(algs)
+	res.Outputs = make([]any, n)
+	for v, a := range algs {
+		res.Outputs[v] = a.Output()
+	}
+	return res, nil
+}
+
+// CheckWidth verifies that m fits in msgBits bits: the byte length must not
+// exceed ⌈msgBits/8⌉ and any padding bits in the final byte must be zero
+// (so no extra information can be smuggled past the bandwidth limit).
+func CheckWidth(m Message, msgBits int) error {
+	maxBytes := (msgBits + 7) / 8
+	if len(m) > maxBytes {
+		return fmt.Errorf("message is %d bytes, bandwidth is %d bits", len(m), msgBits)
+	}
+	if len(m) == maxBytes && msgBits%8 != 0 {
+		if m[len(m)-1]>>(uint(msgBits)%8) != 0 {
+			return fmt.Errorf("message uses padding bits beyond the %d-bit bandwidth", msgBits)
+		}
+	}
+	return nil
+}
+
+// SortMessages puts a message multiset into its canonical (lexicographic)
+// order, the deterministic representation of unattributed delivery.
+func SortMessages(msgs []Message) {
+	sort.Slice(msgs, func(i, j int) bool { return bytes.Compare(msgs[i], msgs[j]) < 0 })
+}
+
+func broadcastAllDone(algs []BroadcastAlgorithm) bool {
+	for _, a := range algs {
+		if !a.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Directed is a CONGEST message addressed to a neighbor by node ID.
+type Directed struct {
+	To  int
+	Msg Message
+}
+
+// Incoming is a received CONGEST message with sender attribution.
+type Incoming struct {
+	From int
+	Msg  Message
+}
+
+// Algorithm is a per-node program for the CONGEST model. Init receives the
+// node's neighbor IDs (CONGEST nodes know who their neighbors are; under
+// beep-level simulation the same information is obtained by one discovery
+// round, per Corollary 12). Send may return at most one message per
+// neighbor per round.
+type Algorithm interface {
+	Init(env Env, neighbors []int)
+	Send(round int) []Directed
+	Receive(round int, in []Incoming)
+	Done() bool
+	Output() any
+}
+
+// Engine runs CONGEST algorithms natively.
+type Engine struct {
+	g       *graph.Graph
+	msgBits int
+	seed    uint64
+}
+
+// NewEngine creates a CONGEST engine over g with the given per-message
+// bandwidth in bits.
+func NewEngine(g *graph.Graph, msgBits int, seed uint64) (*Engine, error) {
+	if msgBits <= 0 {
+		return nil, fmt.Errorf("congest: bandwidth %d bits", msgBits)
+	}
+	return &Engine{g: g, msgBits: msgBits, seed: seed}, nil
+}
+
+// Env builds node v's environment.
+func (e *Engine) Env(v int) Env {
+	return Env{
+		ID:        v,
+		N:         e.g.N(),
+		Degree:    e.g.Degree(v),
+		MaxDegree: e.g.MaxDegree(),
+		MsgBits:   e.msgBits,
+		Rng:       NodeStream(e.seed, v),
+	}
+}
+
+// Run initializes and drives the algorithms until all are done or
+// maxRounds communication rounds elapse.
+func (e *Engine) Run(algs []Algorithm, maxRounds int) (*Result, error) {
+	n := e.g.N()
+	if len(algs) != n {
+		return nil, fmt.Errorf("congest: %d algorithms for %d nodes", len(algs), n)
+	}
+	for v, a := range algs {
+		a.Init(e.Env(v), e.g.Neighbors(v))
+	}
+	res := &Result{}
+	inboxes := make([][]Incoming, n)
+	for round := 0; round < maxRounds; round++ {
+		if congestAllDone(algs) {
+			break
+		}
+		for v := range inboxes {
+			inboxes[v] = nil
+		}
+		for v, a := range algs {
+			if a.Done() {
+				continue
+			}
+			out := a.Send(round)
+			seen := make(map[int]bool, len(out))
+			for _, d := range out {
+				if !e.g.HasEdge(v, d.To) {
+					return nil, fmt.Errorf("congest: node %d round %d: sends to non-neighbor %d", v, round, d.To)
+				}
+				if seen[d.To] {
+					return nil, fmt.Errorf("congest: node %d round %d: duplicate message to %d", v, round, d.To)
+				}
+				seen[d.To] = true
+				if err := CheckWidth(d.Msg, e.msgBits); err != nil {
+					return nil, fmt.Errorf("congest: node %d round %d: %w", v, round, err)
+				}
+				inboxes[d.To] = append(inboxes[d.To], Incoming{From: v, Msg: d.Msg})
+				res.Messages++
+			}
+		}
+		for v, a := range algs {
+			if a.Done() {
+				continue
+			}
+			in := inboxes[v]
+			sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+			a.Receive(round, in)
+		}
+		res.Rounds++
+	}
+	res.AllDone = congestAllDone(algs)
+	res.Outputs = make([]any, n)
+	for v, a := range algs {
+		res.Outputs[v] = a.Output()
+	}
+	return res, nil
+}
+
+func congestAllDone(algs []Algorithm) bool {
+	for _, a := range algs {
+		if !a.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/wire"
+)
+
+// CongestAdapter implements Corollary 12's reduction: a CONGEST algorithm
+// executed over Broadcast CONGEST at a Δ-factor overhead. Round 0 is a
+// discovery round in which every node broadcasts its ID (learning its
+// neighbor set); thereafter each CONGEST round is simulated by Δ broadcast
+// slots in which node v broadcasts ⟨ID_v, ID_u, m_{v→u}⟩ for each neighbor
+// u in turn, and receivers keep the messages addressed to them.
+//
+// The adapter is itself a congest.BroadcastAlgorithm, so it runs both on
+// the native Broadcast CONGEST engine (giving the Lemma 15-style upper
+// bound) and under the beep-level BroadcastRunner (giving the Corollary 12
+// O(Δ²log n) beeping simulation).
+type CongestAdapter struct {
+	// Inner is the CONGEST algorithm to execute.
+	Inner congest.Algorithm
+
+	env       congest.Env
+	idBits    int
+	innerBits int
+	slots     int // broadcast slots per CONGEST round (= MaxDegree, min 1)
+
+	neighbors   []int
+	innerInited bool
+	queue       []congest.Directed
+	inbox       []congest.Incoming
+	output      any
+	failed      bool
+}
+
+var _ congest.BroadcastAlgorithm = (*CongestAdapter)(nil)
+
+// AdapterMsgBits returns the outer (Broadcast CONGEST) bandwidth needed to
+// carry innerBits-bit CONGEST messages between nodes with IDs in [n]:
+// two ID fields plus the payload.
+func AdapterMsgBits(n, innerBits int) int {
+	return 2*wire.BitsFor(n) + innerBits
+}
+
+// Init implements congest.BroadcastAlgorithm.
+func (c *CongestAdapter) Init(env congest.Env) {
+	c.env = env
+	c.idBits = wire.BitsFor(env.N)
+	c.innerBits = env.MsgBits - 2*c.idBits
+	c.slots = env.MaxDegree
+	if c.slots < 1 {
+		c.slots = 1
+	}
+	if c.innerBits <= 0 {
+		// Bandwidth cannot carry addressing; fail closed (Broadcast can
+		// legitimately carry nothing, and Done() reports completion).
+		c.failed = true
+		c.output = fmt.Errorf("core: adapter bandwidth %d bits cannot carry 2×%d-bit IDs", env.MsgBits, c.idBits)
+	}
+}
+
+// Broadcast implements congest.BroadcastAlgorithm.
+func (c *CongestAdapter) Broadcast(round int) congest.Message {
+	if c.failed {
+		return nil
+	}
+	if round == 0 {
+		var w wire.Writer
+		w.WriteUint(uint64(c.env.ID), c.idBits)
+		return w.PaddedBytes(c.env.MsgBits)
+	}
+	slot := (round - 1) % c.slots
+	if slot == 0 {
+		c.prepareRound((round - 1) / c.slots)
+	}
+	if slot >= len(c.queue) {
+		return nil
+	}
+	d := c.queue[slot]
+	var w wire.Writer
+	w.WriteUint(uint64(c.env.ID), c.idBits)
+	w.WriteUint(uint64(d.To), c.idBits)
+	for bit := 0; bit < c.innerBits; bit++ {
+		w.WriteBool(wire.Bit(d.Msg, bit))
+	}
+	return w.PaddedBytes(c.env.MsgBits)
+}
+
+// prepareRound pulls the inner algorithm's sends for CONGEST round t and
+// orders them deterministically by destination.
+func (c *CongestAdapter) prepareRound(t int) {
+	c.queue = nil
+	if c.Inner.Done() {
+		return
+	}
+	out := c.Inner.Send(t)
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	c.queue = out
+}
+
+// Receive implements congest.BroadcastAlgorithm.
+func (c *CongestAdapter) Receive(round int, msgs []congest.Message) {
+	if c.failed {
+		return
+	}
+	if round == 0 {
+		c.neighbors = c.neighbors[:0]
+		seen := make(map[int]bool, len(msgs))
+		for _, m := range msgs {
+			id, err := wire.NewReader(m).ReadUint(c.idBits)
+			if err != nil || int(id) >= c.env.N {
+				continue // corrupted discovery message; drop
+			}
+			if !seen[int(id)] {
+				seen[int(id)] = true
+				c.neighbors = append(c.neighbors, int(id))
+			}
+		}
+		sort.Ints(c.neighbors)
+		inner := c.env
+		inner.MsgBits = c.innerBits
+		c.Inner.Init(inner, c.neighbors)
+		c.innerInited = true
+		return
+	}
+	t := (round - 1) / c.slots
+	slot := (round - 1) % c.slots
+	for _, m := range msgs {
+		rd := wire.NewReader(m)
+		from, err1 := rd.ReadUint(c.idBits)
+		to, err2 := rd.ReadUint(c.idBits)
+		if err1 != nil || err2 != nil || int(to) != c.env.ID || int(from) >= c.env.N {
+			continue // not addressed to us (or corrupted)
+		}
+		payload := make(congest.Message, (c.innerBits+7)/8)
+		for bit := 0; bit < c.innerBits; bit++ {
+			b, err := rd.ReadBool()
+			if err != nil {
+				break
+			}
+			if b {
+				wire.SetBit(payload, bit, true)
+			}
+		}
+		c.inbox = append(c.inbox, congest.Incoming{From: int(from), Msg: payload})
+	}
+	if slot == c.slots-1 && !c.Inner.Done() {
+		sort.Slice(c.inbox, func(i, j int) bool { return c.inbox[i].From < c.inbox[j].From })
+		c.Inner.Receive(t, c.inbox)
+		c.inbox = nil
+	}
+}
+
+// Done implements congest.BroadcastAlgorithm.
+func (c *CongestAdapter) Done() bool {
+	return c.failed || (c.innerInited && c.Inner.Done())
+}
+
+// Output implements congest.BroadcastAlgorithm.
+func (c *CongestAdapter) Output() any {
+	if c.failed {
+		return c.output
+	}
+	return c.Inner.Output()
+}
+
+// WrapCongest wraps each CONGEST algorithm in a CongestAdapter for
+// execution on any Broadcast CONGEST engine.
+func WrapCongest(algs []congest.Algorithm) []congest.BroadcastAlgorithm {
+	out := make([]congest.BroadcastAlgorithm, len(algs))
+	for i, a := range algs {
+		out[i] = &CongestAdapter{Inner: a}
+	}
+	return out
+}
+
+// CongestRounds returns the Broadcast CONGEST rounds needed for t CONGEST
+// rounds on a graph with maximum degree maxDeg: one discovery round plus
+// Δ slots per round (Corollary 12's O(Δ) factor).
+func CongestRounds(t, maxDeg int) int {
+	if maxDeg < 1 {
+		maxDeg = 1
+	}
+	return 1 + t*maxDeg
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstring"
+	"repro/internal/codes"
+	"repro/internal/rng"
+)
+
+// decoder implements the node-local decoding of §4. Everything it uses is
+// information an honest node possesses: the public codes, the parameters,
+// and the bits the node itself heard.
+type decoder struct {
+	p    Params
+	code *codes.BlockedBeepCode
+	dist *codes.RepetitionCode
+
+	// Stage-A filter: probe a prefix of blocks and discard codewords that
+	// already look absent, leaving the exact §4 threshold test to the few
+	// survivors. Purely an optimization — a codeword is accepted iff it
+	// passes the full MembershipThreshold test.
+	stageAProbes int
+	stageAThresh int
+}
+
+func newDecoder(p Params) (*decoder, error) {
+	if p.W() < 4 {
+		return nil, fmt.Errorf("core: W = R·MsgBits = %d too small (need ≥ 4)", p.W())
+	}
+	code, err := codes.NewBlockedBeepCode(p.W(), p.BlockSize(), p.M, rng.Mix(p.Seed, 0xc0de))
+	if err != nil {
+		return nil, err
+	}
+	dist, err := codes.NewRepetitionCode(p.MsgBits, p.R, rng.Mix(p.Seed, 0xd157))
+	if err != nil {
+		return nil, err
+	}
+	probes := p.W()
+	if probes > 32 {
+		probes = 32
+	}
+	// Reject in stage A only at a miss fraction well above the final
+	// threshold, so members essentially never die in the filter.
+	frac := float64(p.MembershipThreshold())/float64(p.W()) + 0.30
+	if frac > 0.95 {
+		frac = 0.95
+	}
+	return &decoder{
+		p:            p,
+		code:         code,
+		dist:         dist,
+		stageAProbes: probes,
+		stageAThresh: int(math.Ceil(frac * float64(probes))),
+	}, nil
+}
+
+// members returns R̃: every codeword cw whose positions are consistent
+// with presence in the heard superimposition x — fewer than θ of its W
+// positions read 0 (the Lemma 9 test with θ = (2ε+1)/4·W).
+func (d *decoder) members(x *bitstring.BitString) []int {
+	theta := d.p.MembershipThreshold()
+	var out []int
+	for cw := 0; cw < d.p.M; cw++ {
+		misses := 0
+		for j := 0; j < d.stageAProbes; j++ {
+			if !x.Get(d.code.Position(cw, j)) {
+				misses++
+			}
+		}
+		if misses >= d.stageAThresh {
+			continue
+		}
+		misses = 0
+		for j := 0; j < d.p.W(); j++ {
+			if !x.Get(d.code.Position(cw, j)) {
+				misses++
+				if misses >= theta {
+					break
+				}
+			}
+		}
+		if misses < theta {
+			out = append(out, cw)
+		}
+	}
+	return out
+}
+
+// soloMask returns, for target codeword t, the blocks in which no other
+// member codeword (the listener's own included) shares t's offset — the
+// positions where the §4 analysis guarantees the listener hears only t's
+// transmission plus channel noise.
+func (d *decoder) soloMask(t int, members []int) *bitstring.BitString {
+	w := d.p.W()
+	solo := bitstring.New(w).Not()
+	for _, s := range members {
+		if s == t {
+			continue
+		}
+		for j := 0; j < w; j++ {
+			if d.code.Offset(s, j) == d.code.Offset(t, j) {
+				solo.ClearBit(j)
+			}
+		}
+	}
+	return solo
+}
+
+// decodeMessage recovers the message carried by codeword t from the
+// phase-2 observation y: it reads the paper's ỹ_{v,w} (the bits of y at
+// t's positions) and runs the distance-code decoder with the solo mask.
+func (d *decoder) decodeMessage(t int, y *bitstring.BitString, solo *bitstring.BitString) []byte {
+	w := d.p.W()
+	obs := bitstring.New(w)
+	for j := 0; j < w; j++ {
+		if y.Get(d.code.Position(t, j)) {
+			obs.Set(j)
+		}
+	}
+	return d.dist.Decode(obs, solo)
+}
+
+// encodePhase1 materializes C(cw) as a beep pattern.
+func (d *decoder) encodePhase1(cw int) *bitstring.BitString {
+	return d.code.Codeword(cw)
+}
+
+// encodePhase2 materializes CD(cw, msg) (Notation 7): D(msg) written into
+// C(cw)'s one-positions.
+func (d *decoder) encodePhase2(cw int, msg []byte) *bitstring.BitString {
+	enc := d.dist.Encode(msg)
+	out := bitstring.New(d.code.Length())
+	for j := 0; j < d.p.W(); j++ {
+		if enc.Get(j) {
+			out.Set(d.code.Position(cw, j))
+		}
+	}
+	return out
+}

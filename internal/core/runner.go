@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/beep"
+	"repro/internal/bitstring"
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RunnerConfig bundles an Algorithm 1 parameterization with the execution
+// seeds.
+type RunnerConfig struct {
+	// Params is the code/threshold parameterization; zero value selects
+	// DefaultParams for the graph.
+	Params Params
+	// ChannelSeed drives the beeping channel noise.
+	ChannelSeed uint64
+	// AlgSeed drives the simulated algorithms' private randomness, with
+	// the same derivation the native engines use — so a run here and a
+	// native run with equal seeds execute the algorithms identically.
+	AlgSeed uint64
+	// NoisyOwn forwards the paper's own-reception noise convention to the
+	// channel.
+	NoisyOwn bool
+	// RecordBeeps retains per-round beep patterns for transcript analysis
+	// (the Lemma 14 / Theorem 22 counting experiments). Memory grows with
+	// beep rounds; leave off for large runs.
+	RecordBeeps bool
+	// Workers parallelizes the radio phases across goroutines (0 or 1 =
+	// serial). Results are bit-identical either way.
+	Workers int
+}
+
+// Result reports a simulated Broadcast CONGEST execution.
+type Result struct {
+	// SimRounds is the number of Broadcast CONGEST rounds simulated.
+	SimRounds int
+	// BeepRounds is the number of physical beep rounds consumed.
+	BeepRounds int
+	// AllDone reports whether every algorithm terminated in budget.
+	AllDone bool
+	// Outputs holds each node's Output().
+	Outputs []any
+	// Beeps is the total energy (number of beeps).
+	Beeps int64
+	// MessageErrors counts (node, round) pairs where the delivered message
+	// multiset differed from the ground truth (what a native Broadcast
+	// CONGEST engine would have delivered). The paper's Theorem 11 bounds
+	// the probability of any such event by n^{-2} for its constants.
+	MessageErrors int
+	// MembershipErrors counts (node, round) pairs where the decoded
+	// codeword set R̃_v differed from the true neighborhood set R_v
+	// (Lemma 9's event).
+	MembershipErrors int
+}
+
+// BroadcastRunner simulates Broadcast CONGEST algorithms over a noisy
+// beeping network using Algorithm 1.
+type BroadcastRunner struct {
+	g   *graph.Graph
+	cfg RunnerConfig
+	dec *decoder
+	nw  *beep.Network
+
+	cwStreams []*rng.Stream
+}
+
+// NewBroadcastRunner builds a runner for g. If cfg.Params is the zero
+// value, DefaultParams with the graph's Δ, 4·⌈log₂ n⌉ message bits, and
+// ε = 0.05 is used.
+func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, error) {
+	if cfg.Params == (Params{}) {
+		logn := 1
+		for v := g.N() - 1; v > 1; v >>= 1 {
+			logn++
+		}
+		cfg.Params = DefaultParams(g.N(), g.MaxDegree(), 4*logn, 0.05)
+	}
+	if err := cfg.Params.Validate(g.N(), g.MaxDegree()); err != nil {
+		return nil, err
+	}
+	dec, err := newDecoder(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := beep.NewNetwork(g, beep.Params{
+		Epsilon:     cfg.Params.Epsilon,
+		NoisyOwn:    cfg.NoisyOwn,
+		Seed:        cfg.ChannelSeed,
+		RecordBeeps: cfg.RecordBeeps,
+		Workers:     cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &BroadcastRunner{g: g, cfg: cfg, dec: dec, nw: nw}
+	if cfg.Params.Assignment == AssignRandom {
+		r.cwStreams = make([]*rng.Stream, g.N())
+		for v := range r.cwStreams {
+			r.cwStreams[v] = rng.New(cfg.ChannelSeed).Split(0x637721, uint64(v)) // "cw"
+		}
+	}
+	return r, nil
+}
+
+// Params returns the effective parameters (after defaulting).
+func (r *BroadcastRunner) Params() Params { return r.cfg.Params }
+
+// BeepHistory returns the recorded per-round beep patterns (nil unless
+// RunnerConfig.RecordBeeps was set).
+func (r *BroadcastRunner) BeepHistory() []*bitstring.BitString { return r.nw.BeepHistory() }
+
+// Env builds the environment node v's algorithm sees; identical to the
+// native Broadcast CONGEST engine's.
+func (r *BroadcastRunner) Env(v int) congest.Env {
+	return congest.Env{
+		ID:        v,
+		N:         r.g.N(),
+		Degree:    r.g.Degree(v),
+		MaxDegree: r.g.MaxDegree(),
+		MsgBits:   r.cfg.Params.MsgBits,
+		Rng:       congest.NodeStream(r.cfg.AlgSeed, v),
+	}
+}
+
+// Run simulates the algorithms for at most maxSimRounds Broadcast CONGEST
+// rounds, each costing Params().RoundsPerSimRound() beep rounds.
+func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*Result, error) {
+	n := r.g.N()
+	if len(algs) != n {
+		return nil, fmt.Errorf("core: %d algorithms for %d nodes", len(algs), n)
+	}
+	p := r.cfg.Params
+	for v, a := range algs {
+		a.Init(r.Env(v))
+	}
+	res := &Result{}
+	msgs := make([]congest.Message, n)
+	cw := make([]int, n)
+	for round := 0; round < maxSimRounds; round++ {
+		if allDone(algs) {
+			break
+		}
+		// Collect the round's broadcasts; nil means the node stays silent
+		// and only listens.
+		anySender := false
+		for v, a := range algs {
+			msgs[v] = nil
+			if a.Done() {
+				continue
+			}
+			m := a.Broadcast(round)
+			if m == nil {
+				continue
+			}
+			if err := congest.CheckWidth(m, p.MsgBits); err != nil {
+				return nil, fmt.Errorf("core: node %d round %d: %w", v, round, err)
+			}
+			msgs[v] = m
+			anySender = true
+		}
+		res.SimRounds++
+		if !anySender {
+			// Nothing on the air: every active node hears (noisy) silence
+			// and decodes an empty neighborhood. We skip the radio phases
+			// but still deliver the empty multiset.
+			for _, a := range algs {
+				if !a.Done() {
+					a.Receive(round, nil)
+				}
+			}
+			continue
+		}
+
+		// Codeword assignment (Algorithm 1 line 1).
+		for v := range cw {
+			cw[v] = -1
+			if msgs[v] == nil {
+				continue
+			}
+			switch p.Assignment {
+			case AssignByID:
+				cw[v] = v
+			case AssignRandom:
+				cw[v] = r.cwStreams[v].Intn(p.M)
+			}
+		}
+
+		// Phase 1: beep C(r_v).
+		patterns := make([]*bitstring.BitString, n)
+		for v := range patterns {
+			if cw[v] >= 0 {
+				patterns[v] = r.dec.encodePhase1(cw[v])
+			}
+		}
+		xs, err := r.nw.RunPhase(patterns)
+		if err != nil {
+			return nil, err
+		}
+
+		// Phase 2: beep CD(r_v, m_v).
+		for v := range patterns {
+			patterns[v] = nil
+			if cw[v] >= 0 {
+				patterns[v] = r.dec.encodePhase2(cw[v], msgs[v])
+			}
+		}
+		ys, err := r.nw.RunPhase(patterns)
+		if err != nil {
+			return nil, err
+		}
+		res.BeepRounds += p.RoundsPerSimRound()
+
+		// Decode and deliver.
+		for v, a := range algs {
+			if a.Done() {
+				continue
+			}
+			decoded := r.dec.members(xs[v])
+			inbox := make([]congest.Message, 0, len(decoded))
+			for _, t := range decoded {
+				if cw[v] >= 0 && t == cw[v] {
+					continue // own transmission
+				}
+				var solo *bitstring.BitString
+				if p.DisableSoloFilter {
+					solo = bitstring.New(p.W()).Not()
+				} else {
+					solo = r.dec.soloMask(t, decoded)
+				}
+				inbox = append(inbox, r.dec.decodeMessage(t, ys[v], solo))
+			}
+			congest.SortMessages(inbox)
+
+			r.score(res, v, cw, msgs, decoded, inbox)
+			a.Receive(round, inbox)
+		}
+	}
+	res.AllDone = allDone(algs)
+	res.Outputs = make([]any, n)
+	for v, a := range algs {
+		res.Outputs[v] = a.Output()
+	}
+	res.Beeps = r.nw.TotalBeeps()
+	return res, nil
+}
+
+// score compares node v's decoding against ground truth, updating error
+// counters. Ground truth is runner-level bookkeeping only — nothing here
+// feeds back into the simulation.
+func (r *BroadcastRunner) score(res *Result, v int, cw []int, msgs []congest.Message, decoded []int, inbox []congest.Message) {
+	var trueSet []int
+	var truth []congest.Message
+	for _, u := range r.g.Neighbors(v) {
+		if cw[u] >= 0 {
+			trueSet = append(trueSet, cw[u])
+			truth = append(truth, padTo(msgs[u], r.cfg.Params.MsgBits))
+		}
+	}
+	if cw[v] >= 0 {
+		trueSet = append(trueSet, cw[v]) // own codeword is part of x_v
+	}
+	sort.Ints(trueSet)
+	got := make([]int, 0, len(decoded))
+	got = append(got, decoded...)
+	sort.Ints(got)
+	if !equalInts(trueSet, got) {
+		res.MembershipErrors++
+	}
+	congest.SortMessages(truth)
+	if !equalMessages(truth, inbox) {
+		res.MessageErrors++
+	}
+}
+
+func padTo(m congest.Message, bits int) congest.Message {
+	out := make(congest.Message, (bits+7)/8)
+	copy(out, m)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalMessages(a, b []congest.Message) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func allDone(algs []congest.BroadcastAlgorithm) bool {
+	for _, a := range algs {
+		if !a.Done() {
+			return false
+		}
+	}
+	return true
+}

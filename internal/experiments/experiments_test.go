@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+// TestAllExperimentsRun smoke-tests every experiment at Quick size:
+// non-empty tables, consistent column counts, renderable.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q, want %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tbl.Columns))
+				}
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.Title) || !strings.Contains(out, "Paper claim:") {
+				t.Error("render missing header")
+			}
+		})
+	}
+}
+
+func cell(t *testing.T, tbl *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not found in %v", col, tbl.Columns)
+	return ""
+}
+
+func parseRate(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestT1CodesAreGood asserts the substance of T1: bad fractions small.
+func TestT1CodesAreGood(t *testing.T) {
+	tbl, err := T1BeepCodeProperty(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if r := parseRate(t, cell(t, tbl, i, "bad frac (random)")); r > 0.1 {
+			t.Errorf("row %d: random code bad fraction %v", i, r)
+		}
+		if r := parseRate(t, cell(t, tbl, i, "bad frac (blocked)")); r > 0.1 {
+			t.Errorf("row %d: blocked code bad fraction %v", i, r)
+		}
+	}
+}
+
+// TestT2DistanceSatisfied asserts Lemma 6 holds in every tested row.
+func TestT2DistanceSatisfied(t *testing.T) {
+	tbl, err := T2DistanceCodeProperty(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if got := cell(t, tbl, i, "satisfied"); got != "true" {
+			t.Errorf("row %d: min distance below δb", i)
+		}
+	}
+}
+
+// TestT3T4ErrorRatesLow asserts the decoding error rates stay near zero
+// across the noise sweep.
+func TestT3T4ErrorRatesLow(t *testing.T) {
+	t3, err := T3Phase1Membership(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t3.Rows {
+		if r := parseRate(t, cell(t, t3, i, "membership err rate")); r > 0.05 {
+			t.Errorf("T3 row %d: membership error rate %v", i, r)
+		}
+	}
+	t4, err := T4BroadcastOverhead(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t4.Rows {
+		if r := parseRate(t, cell(t, t4, i, "msg err rate")); r > 0.05 {
+			t.Errorf("T4 row %d: message error rate %v", i, r)
+		}
+	}
+}
+
+// TestT6BaselineGapGrows asserts the headline comparison shape: the
+// baseline/ours ratio grows with Δ on the χ(G²)=Θ(Δ²) instances (the
+// crossover sits at small Δ where constants dominate).
+func TestT6BaselineGapGrows(t *testing.T) {
+	tbl, err := T6BaselineComparison(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PG(2,q) rows come first, in increasing q.
+	first := parseRate(t, cell(t, tbl, 0, "ratio"))
+	second := parseRate(t, cell(t, tbl, 1, "ratio"))
+	if second <= first {
+		t.Errorf("ratio did not grow with Δ: %v then %v", first, second)
+	}
+}
+
+// TestT7T9Correct asserts the end-to-end pipelines produced correct
+// outputs.
+func TestT7T9Correct(t *testing.T) {
+	t7, err := T7LocalBroadcast(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t7.Rows {
+		if got := cell(t, t7, i, "correct"); got != "true" {
+			t.Errorf("T7 row %d incorrect", i)
+		}
+	}
+	t9, err := T9MatchingBeeps(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t9.Rows {
+		if got := cell(t, t9, i, "valid"); got != "true" {
+			t.Errorf("T9 row %d invalid", i)
+		}
+	}
+}
+
+// TestA1ThresholdShape asserts the ablation shows the expected threshold:
+// the smallest repetition factor fails, the largest succeeds.
+func TestA1ThresholdShape(t *testing.T) {
+	tbl, err := A1RepetitionAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseRate(t, cell(t, tbl, 0, "message err rate"))
+	last := parseRate(t, cell(t, tbl, len(tbl.Rows)-1, "message err rate"))
+	if first <= last {
+		t.Errorf("expected errors to fall with R: first %v, last %v", first, last)
+	}
+	if last > 0.02 {
+		t.Errorf("largest R still failing: %v", last)
+	}
+}
+
+// TestA2CollisionShape asserts collisions fall as the codebook grows and
+// vanish under by-ID assignment.
+func TestA2CollisionShape(t *testing.T) {
+	tbl, err := A2CodebookAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallM := parseRate(t, cell(t, tbl, 0, "membership err rate"))
+	byID := parseRate(t, cell(t, tbl, len(tbl.Rows)-1, "membership err rate"))
+	if smallM <= byID {
+		t.Errorf("expected small-M membership errors (%v) to exceed by-ID (%v)", smallM, byID)
+	}
+	if byID != 0 {
+		t.Errorf("by-ID assignment shows membership errors: %v", byID)
+	}
+}
+
+func TestF1Rendering(t *testing.T) {
+	tbl, err := F1CombinedCode(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tbl.Notes, "\n")
+	for _, want := range []string{"C(r)", "D(m)", "CD(r,m)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("figure rendering missing %q", want)
+		}
+	}
+}

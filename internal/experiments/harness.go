@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the
+// reproduction (see DESIGN.md §3 for the experiment index). Each
+// experiment is a function from a Config to a Table; cmd/experiments
+// renders them all and EXPERIMENTS.md records the measured results
+// against the paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick selects reduced sizes (used by tests and -short runs).
+	Quick bool
+	// Seed drives every random choice in the suite.
+	Seed uint64
+}
+
+// Table is one experiment's result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (T0…T10, F1, A1…A3).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim restates the paper's claim being tested.
+	Claim string
+	// Columns and Rows hold the tabular results.
+	Columns []string
+	Rows    [][]string
+	// Notes holds free-form observations (fit slopes, renderings).
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "Paper claim: %s\n", t.Claim)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment is a named experiment runner.
+type Experiment struct {
+	ID  string
+	Run func(Config) (*Table, error)
+}
+
+// All returns the full suite in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "T0", Run: T0PaperConstants},
+		{ID: "T1", Run: T1BeepCodeProperty},
+		{ID: "T2", Run: T2DistanceCodeProperty},
+		{ID: "T3", Run: T3Phase1Membership},
+		{ID: "T4", Run: T4BroadcastOverhead},
+		{ID: "T5", Run: T5CongestOverhead},
+		{ID: "T6", Run: T6BaselineComparison},
+		{ID: "T7", Run: T7LocalBroadcast},
+		{ID: "T8", Run: T8MatchingNative},
+		{ID: "T9", Run: T9MatchingBeeps},
+		{ID: "T10", Run: T10LowerBounds},
+		{ID: "T11", Run: T11NativeVsSimulated},
+		{ID: "F1", Run: F1CombinedCode},
+		{ID: "A1", Run: A1RepetitionAblation},
+		{ID: "A2", Run: A2CodebookAblation},
+		{ID: "A3", Run: A3SoloDecodingAblation},
+		{ID: "A4", Run: A4EnergyAblation},
+	}
+}
+
+// --- shared workload helpers ---
+
+// idGossip broadcasts the node ID every round for a fixed number of
+// rounds; it is the canonical "one Broadcast CONGEST round" workload.
+type idGossip struct {
+	env    congest.Env
+	rounds int
+	seen   int
+	done   bool
+}
+
+func (g *idGossip) Init(env congest.Env) {
+	g.env = env
+	if g.rounds == 0 {
+		g.rounds = 1
+	}
+}
+
+func (g *idGossip) Broadcast(round int) congest.Message {
+	var w wire.Writer
+	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
+	return w.PaddedBytes(g.env.MsgBits)
+}
+
+func (g *idGossip) Receive(round int, msgs []congest.Message) {
+	g.seen++
+	if g.seen >= g.rounds {
+		g.done = true
+	}
+}
+
+func (g *idGossip) Done() bool  { return g.done }
+func (g *idGossip) Output() any { return g.seen }
+
+func gossipAlgs(n, rounds int) []congest.BroadcastAlgorithm {
+	algs := make([]congest.BroadcastAlgorithm, n)
+	for v := range algs {
+		algs[v] = &idGossip{rounds: rounds}
+	}
+	return algs
+}
+
+// gossipRun executes the gossip workload over the Algorithm 1 runner and
+// reports per-round error rates.
+type gossipStats struct {
+	beepPerRound int
+	msgErrRate   float64
+	memErrRate   float64
+	nodeRounds   int
+}
+
+func runGossip(g *graph.Graph, p core.Params, rounds int, channelSeed, algSeed uint64) (gossipStats, error) {
+	runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+		Params:      p,
+		ChannelSeed: channelSeed,
+		AlgSeed:     algSeed,
+		NoisyOwn:    true,
+		Workers:     runtime.NumCPU(),
+	})
+	if err != nil {
+		return gossipStats{}, err
+	}
+	res, err := runner.Run(gossipAlgs(g.N(), rounds), rounds+2)
+	if err != nil {
+		return gossipStats{}, err
+	}
+	nodeRounds := g.N() * res.SimRounds
+	return gossipStats{
+		beepPerRound: res.BeepRounds / max(res.SimRounds, 1),
+		msgErrRate:   float64(res.MessageErrors) / float64(nodeRounds),
+		memErrRate:   float64(res.MembershipErrors) / float64(nodeRounds),
+		nodeRounds:   nodeRounds,
+	}, nil
+}
+
+// regularGraph builds a Δ-regular graph of n nodes (falling back to the
+// bounded-degree random model when nΔ is odd).
+func regularGraph(n, delta int, seed uint64) (*graph.Graph, error) {
+	if (n*delta)%2 == 0 {
+		return graph.RandomRegular(n, delta, rng.New(seed))
+	}
+	return graph.RandomBoundedDegree(n, delta, 0.5, rng.New(seed)), nil
+}
+
+func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/algorithms/mis"
+	"repro/internal/beepalgs"
+	"repro/internal/core"
+)
+
+// T11NativeVsSimulated measures the §7 complexity gap: a problem-specific
+// beeping algorithm (Afek et al.-style MIS, Δ-independent log²n-type cost)
+// against the same problem solved through the generic simulation (Luby MIS
+// over Algorithm 1, Θ(Δ log n) per simulated round). Both run on the
+// noiseless channel so only the communication structure differs.
+func T11NativeVsSimulated(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "T11",
+		Title:   "Native beeping MIS vs MIS through the generic simulation (§7)",
+		Claim:   "the generic simulation is optimal, yet problem-specific beeping algorithms can beat it: MIS is log^{O(1)} n natively [1] while any simulation pays Θ(Δ log n) per round",
+		Columns: []string{"n", "Δ", "native beep rounds", "simulated beep rounds", "sim/native", "both valid"},
+	}
+	n := 64
+	deltas := []int{4, 8, 16}
+	if cfg.Quick {
+		n = 32
+		deltas = []int{4, 8}
+	}
+	for i, delta := range deltas {
+		g, err := regularGraph(n, delta, cfg.Seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+
+		nativeSet, nativeRounds, err := beepalgs.RunMIS(g, cfg.Seed+40+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		valid := mis.Verify(g, nativeSet) == nil
+
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+			Params:      core.DefaultParams(n, g.MaxDegree(), mis.MsgBits(n), 0),
+			ChannelSeed: cfg.Seed + 41 + uint64(i),
+			AlgSeed:     cfg.Seed + 42,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner.Run(mis.New(n), mis.MaxRounds(n))
+		if err != nil {
+			return nil, err
+		}
+		simSet := make([]bool, n)
+		for v, o := range res.Outputs {
+			simSet[v] = o.(bool)
+		}
+		valid = valid && res.AllDone && mis.Verify(g, simSet) == nil
+
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%d", g.MaxDegree()),
+			f("%d", nativeRounds),
+			f("%d", res.BeepRounds),
+			f("%.0fx", float64(res.BeepRounds)/float64(nativeRounds)),
+			f("%v", valid),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the native column is ≈flat in Δ while the simulated column carries the Δ+1 factor — matching lower bounds (Theorem 22) show matching-type problems cannot enjoy such a shortcut")
+	return t, nil
+}

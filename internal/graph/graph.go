@@ -1,0 +1,524 @@
+// Package graph implements the network substrate of the paper: undirected
+// graphs with n nodes and maximum degree Δ, whose edges represent direct
+// reachability between devices (§1.1). It provides the generators used by
+// the experiments — including the K_{Δ,Δ}-plus-isolated-vertices hard
+// instance of Lemma 14 — together with the structural routines the
+// baselines need (graph squaring and distance-2 coloring for the
+// [7]/[4]-style TDMA simulation) and BFS/diameter utilities.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Graph is an immutable simple undirected graph on vertices 0..n-1.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int // sorted neighbor lists
+}
+
+// FromEdges builds a graph with n vertices from an edge list. It rejects
+// self-loops, duplicate edges, and out-of-range endpoints.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+		for i := 1; i < len(adj[v]); i++ {
+			if adj[v][i] == adj[v][i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, adj[v][i])
+			}
+		}
+	}
+	return &Graph{n: n, m: len(edges), adj: adj}, nil
+}
+
+// MustFromEdges is FromEdges that panics on error, for tests and
+// generators with inputs known to be valid.
+func MustFromEdges(n int, edges [][2]int) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ, the maximum degree. It is 0 for edgeless graphs.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	list := g.adj[u]
+	i := sort.SearchInts(list, v)
+	return i < len(list) && list[i] == v
+}
+
+// Edges returns all edges with u < v, in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// BFS returns distances and BFS-tree parents from root. Unreachable
+// vertices have dist -1 and parent -1; root has parent -1.
+func (g *Graph) BFS(root int) (dist, parent []int) {
+	dist = make([]int, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i], parent[i] = -1, -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist, _ := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the maximum eccentricity over connected vertex pairs
+// (ignoring unreachable pairs), or 0 for edgeless graphs.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		dist, _ := g.BFS(v)
+		for _, d := range dist {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Square returns G²: the graph on the same vertices where u,v are adjacent
+// iff their distance in g is 1 or 2. It is the structure the prior-work
+// baselines color to schedule conflict-free transmissions (§1.4).
+func (g *Graph) Square() *Graph {
+	adj := make([][]int, g.n)
+	seen := make([]int, g.n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	m := 0
+	for u := 0; u < g.n; u++ {
+		var list []int
+		add := func(w int) {
+			if w != u && seen[w] != u {
+				seen[w] = u
+				list = append(list, w)
+			}
+		}
+		for _, v := range g.adj[u] {
+			add(v)
+			for _, w := range g.adj[v] {
+				add(w)
+			}
+		}
+		sort.Ints(list)
+		adj[u] = list
+		m += len(list)
+	}
+	return &Graph{n: g.n, m: m / 2, adj: adj}
+}
+
+// GreedyColoring colors the graph greedily in the given vertex order,
+// assigning each vertex the smallest color unused by its already-colored
+// neighbors. It returns one color in [0, maxUsed] per vertex and uses at
+// most Δ+1 colors. If order is nil, vertices are processed in decreasing
+// degree order (which tends to use fewer colors).
+func (g *Graph) GreedyColoring(order []int) []int {
+	if order == nil {
+		order = make([]int, g.n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return g.Degree(order[i]) > g.Degree(order[j])
+		})
+	}
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	taken := make([]int, g.n+1)
+	for i := range taken {
+		taken[i] = -1
+	}
+	for _, v := range order {
+		for _, u := range g.adj[v] {
+			if colors[u] >= 0 {
+				taken[colors[u]] = v
+			}
+		}
+		c := 0
+		for taken[c] == v {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// DistanceTwoColoring returns a proper coloring of G² (no two vertices
+// within distance 2 share a color), the setup structure of the baseline
+// simulations. The number of colors used is at most Δ²+1.
+func (g *Graph) DistanceTwoColoring() []int {
+	return g.Square().GreedyColoring(nil)
+}
+
+// NumColors returns the number of distinct colors in a coloring (max+1).
+func NumColors(colors []int) int {
+	max := -1
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
+// --- Generators ---
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	var edges [][2]int
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return MustFromEdges(a+b, edges)
+}
+
+// HardInstance returns the Lemma 14 / Theorem 22 hard graph: K_{Δ,Δ} on
+// vertices 0..2Δ-1 (left part 0..Δ-1, right part Δ..2Δ-1) plus n-2Δ
+// isolated vertices, so the graph has n vertices and maximum degree Δ.
+func HardInstance(n, delta int) (*Graph, error) {
+	if delta < 1 || 2*delta > n {
+		return nil, fmt.Errorf("graph: hard instance needs 1 <= Δ and 2Δ <= n, got n=%d Δ=%d", n, delta)
+	}
+	var edges [][2]int
+	for u := 0; u < delta; u++ {
+		for v := delta; v < 2*delta; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Cycle returns the n-cycle (n >= 3).
+func Cycle(n int) *Graph {
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Path returns the n-vertex path.
+func Path(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph {
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return MustFromEdges(rows*cols, edges)
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
+func Hypercube(dim int) *Graph {
+	n := 1 << uint(dim)
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// CompleteBinaryTree returns a complete binary tree on n vertices with
+// root 0 (vertex v has children 2v+1 and 2v+2 when present).
+func CompleteBinaryTree(n int) *Graph {
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{(v - 1) / 2, v})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// RandomRegular returns a random d-regular graph on n vertices via the
+// configuration (pairing) model with edge-swap repair: stubs are paired
+// uniformly, then self-loops and multi-edges are eliminated by swapping
+// endpoints with random other pairs (whole-graph rejection would succeed
+// with probability only ≈ e^{-d²/4}). n*d must be even and d < n.
+func RandomRegular(n, d int, r *rng.Stream) (*Graph, error) {
+	if d < 0 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular needs 0 <= d < n and even n*d, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return FromEdges(n, nil)
+	}
+	const maxAttempts = 50
+	stubs := make([]int, n*d)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		pairs := make([][2]int, 0, n*d/2)
+		for i := 0; i < len(stubs); i += 2 {
+			pairs = append(pairs, [2]int{stubs[i], stubs[i+1]})
+		}
+		if repairPairing(pairs, r) {
+			edges := make([][2]int, len(pairs))
+			copy(edges, pairs)
+			return FromEdges(n, edges)
+		}
+	}
+	return nil, fmt.Errorf("graph: random regular (n=%d, d=%d) failed after %d attempts", n, d, maxAttempts)
+}
+
+// repairPairing removes self-loops and duplicate edges from a stub pairing
+// by swapping endpoints with uniformly chosen other pairs. It reports
+// whether the pairing became simple within the repair budget.
+func repairPairing(pairs [][2]int, r *rng.Stream) bool {
+	key := func(p [2]int) [2]int {
+		if p[0] > p[1] {
+			return [2]int{p[1], p[0]}
+		}
+		return p
+	}
+	budget := 200 * len(pairs)
+	for round := 0; round < budget; round++ {
+		counts := make(map[[2]int]int, len(pairs))
+		for _, p := range pairs {
+			counts[key(p)]++
+		}
+		bad := -1
+		for i, p := range pairs {
+			if p[0] == p[1] || counts[key(p)] > 1 {
+				bad = i
+				break
+			}
+		}
+		if bad == -1 {
+			return true
+		}
+		j := r.Intn(len(pairs))
+		if j == bad {
+			continue
+		}
+		pairs[bad][1], pairs[j][1] = pairs[j][1], pairs[bad][1]
+	}
+	return false
+}
+
+// ProjectivePlaneIncidence returns the point–line incidence graph of the
+// projective plane PG(2,q) for prime q: vertices 0..q²+q are the points,
+// vertices q²+q+1..2(q²+q)+1 are the lines, and a point is adjacent to the
+// lines containing it. The graph is (q+1)-regular with n = 2(q²+q+1) and
+// girth 6 — and since any two points share a line and any two lines share
+// a point, the points form a clique in G² and so do the lines. It is
+// therefore a worst case for distance-2-coloring TDMA baselines:
+// χ(G²) ≥ q²+q+1 = Θ(Δ²) = Θ(n), realizing the paper's min{n, Δ²}
+// overhead factor.
+func ProjectivePlaneIncidence(q int) (*Graph, error) {
+	if q < 2 || !isPrime(q) {
+		return nil, fmt.Errorf("graph: projective plane order %d must be prime", q)
+	}
+	// Normalized homogeneous coordinates over F_q: (1,y,z), (0,1,z), (0,0,1).
+	var coords [][3]int
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			coords = append(coords, [3]int{1, y, z})
+		}
+	}
+	for z := 0; z < q; z++ {
+		coords = append(coords, [3]int{0, 1, z})
+	}
+	coords = append(coords, [3]int{0, 0, 1})
+
+	m := len(coords) // q²+q+1
+	var edges [][2]int
+	for p := 0; p < m; p++ {
+		for l := 0; l < m; l++ {
+			dot := coords[p][0]*coords[l][0] + coords[p][1]*coords[l][1] + coords[p][2]*coords[l][2]
+			if dot%q == 0 {
+				edges = append(edges, [2]int{p, m + l})
+			}
+		}
+	}
+	return FromEdges(2*m, edges)
+}
+
+// isPrime is a local trial-division primality check.
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomBoundedDegree returns a random graph where each candidate edge of
+// G(n,p) is kept only if it respects the degree cap maxDeg at both
+// endpoints. The result always has maximum degree <= maxDeg.
+func RandomBoundedDegree(n, maxDeg int, p float64, r *rng.Stream) *Graph {
+	deg := make([]int, n)
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if deg[u] < maxDeg && deg[v] < maxDeg && r.Bool(p) {
+				deg[u]++
+				deg[v]++
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// RandomGeometricGrid places nodes on a jittered √n×√n grid and connects
+// nodes within unit-ish radius while respecting the degree cap. It is the
+// sensor-network-flavoured topology used in the examples: connected-ish,
+// low degree, moderate diameter.
+func RandomGeometricGrid(n, maxDeg int, r *rng.Stream) *Graph {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{
+			x: float64(i%side) + 0.4*r.Float64(),
+			y: float64(i/side) + 0.4*r.Float64(),
+		}
+	}
+	deg := make([]int, n)
+	var edges [][2]int
+	const radius2 = 1.7 * 1.7
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := pts[u].x-pts[v].x, pts[u].y-pts[v].y
+			if dx*dx+dy*dy <= radius2 && deg[u] < maxDeg && deg[v] < maxDeg {
+				deg[u]++
+				deg[v]++
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}

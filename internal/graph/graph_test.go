@@ -1,0 +1,439 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFromEdgesValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		edges   [][2]int
+		wantErr bool
+	}{
+		{name: "empty", n: 0},
+		{name: "triangle", n: 3, edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}},
+		{name: "self loop", n: 2, edges: [][2]int{{0, 0}}, wantErr: true},
+		{name: "duplicate", n: 2, edges: [][2]int{{0, 1}, {1, 0}}, wantErr: true},
+		{name: "out of range", n: 2, edges: [][2]int{{0, 2}}, wantErr: true},
+		{name: "negative n", n: -1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FromEdges(tt.n, tt.edges)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("FromEdges err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := MustFromEdges(4, [][2]int{{0, 1}, {0, 2}, {2, 3}})
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N,M = %d,%d, want 4,3", g.N(), g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 1 {
+		t.Errorf("degrees wrong: %d, %d", g.Degree(0), g.Degree(3))
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(1, 2) {
+		t.Error("HasEdge wrong")
+	}
+	want := []int{1, 2}
+	got := g.Neighbors(0)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Neighbors(0) = %v, want %v", got, want)
+	}
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Errorf("Edges() returned %d edges", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not in canonical order", e)
+		}
+	}
+}
+
+func TestHandshakeLemma(t *testing.T) {
+	r := rng.New(1)
+	g := RandomBoundedDegree(50, 6, 0.2, r)
+	sum := 0
+	for v := 0; v < g.N(); v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.M() {
+		t.Errorf("degree sum %d != 2m = %d", sum, 2*g.M())
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g := Path(5)
+	dist, parent := g.BFS(0)
+	for v := 0; v < 5; v++ {
+		if dist[v] != v {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+	if parent[0] != -1 || parent[3] != 2 {
+		t.Errorf("parents wrong: %v", parent)
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("Diameter = %d, want 4", g.Diameter())
+	}
+
+	// Disconnected: unreachable gets -1.
+	h := MustFromEdges(3, [][2]int{{0, 1}})
+	dist, _ = h.BFS(0)
+	if dist[2] != -1 {
+		t.Errorf("unreachable dist = %d, want -1", dist[2])
+	}
+	if h.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !Path(4).Connected() {
+		t.Error("path reported disconnected")
+	}
+}
+
+func TestDiameterKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{name: "K5", g: Complete(5), want: 1},
+		{name: "C6", g: Cycle(6), want: 3},
+		{name: "C7", g: Cycle(7), want: 3},
+		{name: "Q3", g: Hypercube(3), want: 3},
+		{name: "grid3x4", g: Grid(3, 4), want: 5},
+		{name: "star10", g: Star(10), want: 2},
+	}
+	for _, tt := range tests {
+		if got := tt.g.Diameter(); got != tt.want {
+			t.Errorf("%s: Diameter = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSquare(t *testing.T) {
+	// Path 0-1-2-3: square adds {0,2},{1,3}.
+	g := Path(4).Square()
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}
+	if g.M() != len(wantEdges) {
+		t.Fatalf("square has %d edges, want %d: %v", g.M(), len(wantEdges), g.Edges())
+	}
+	for _, e := range wantEdges {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("square missing edge %v", e)
+		}
+	}
+}
+
+func TestSquareOfCompleteIsComplete(t *testing.T) {
+	g := Complete(6).Square()
+	if g.M() != 15 {
+		t.Errorf("K6² has %d edges, want 15", g.M())
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	r := rng.New(2)
+	g := RandomBoundedDegree(60, 8, 0.15, r)
+	colors := g.GreedyColoring(nil)
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			t.Fatalf("edge %v monochromatic (color %d)", e, colors[e[0]])
+		}
+	}
+	if nc := NumColors(colors); nc > g.MaxDegree()+1 {
+		t.Errorf("greedy used %d colors, exceeds Δ+1 = %d", nc, g.MaxDegree()+1)
+	}
+}
+
+func TestDistanceTwoColoringProper(t *testing.T) {
+	r := rng.New(3)
+	g := RandomBoundedDegree(60, 5, 0.1, r)
+	colors := g.DistanceTwoColoring()
+	// No two vertices at distance <= 2 share a color.
+	for v := 0; v < g.N(); v++ {
+		dist, _ := g.BFS(v)
+		for u := 0; u < g.N(); u++ {
+			if u != v && dist[u] >= 1 && dist[u] <= 2 && colors[u] == colors[v] {
+				t.Fatalf("vertices %d,%d at distance %d share color %d", v, u, dist[u], colors[v])
+			}
+		}
+	}
+	delta := g.MaxDegree()
+	if nc := NumColors(colors); nc > delta*delta+1 {
+		t.Errorf("distance-2 coloring used %d colors, exceeds Δ²+1 = %d", nc, delta*delta+1)
+	}
+}
+
+func TestHardInstance(t *testing.T) {
+	g, err := HardInstance(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.M() != 16 {
+		t.Fatalf("hard instance N,M = %d,%d, want 20,16", g.N(), g.M())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("MaxDegree = %d, want 4", g.MaxDegree())
+	}
+	// Left part connects to all of right part, nothing else.
+	for u := 0; u < 4; u++ {
+		for v := 4; v < 8; v++ {
+			if !g.HasEdge(u, v) {
+				t.Errorf("missing bipartite edge (%d,%d)", u, v)
+			}
+		}
+	}
+	for v := 8; v < 20; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("vertex %d should be isolated", v)
+		}
+	}
+	if _, err := HardInstance(5, 3); err == nil {
+		t.Error("HardInstance(5,3) should fail (2Δ > n)")
+	}
+	if _, err := HardInstance(5, 0); err == nil {
+		t.Error("HardInstance(5,0) should fail")
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	tests := []struct {
+		name       string
+		g          *Graph
+		wantN      int
+		wantM      int
+		wantMaxDeg int
+	}{
+		{name: "complete", g: Complete(5), wantN: 5, wantM: 10, wantMaxDeg: 4},
+		{name: "bipartite", g: CompleteBipartite(3, 4), wantN: 7, wantM: 12, wantMaxDeg: 4},
+		{name: "cycle", g: Cycle(8), wantN: 8, wantM: 8, wantMaxDeg: 2},
+		{name: "path", g: Path(8), wantN: 8, wantM: 7, wantMaxDeg: 2},
+		{name: "star", g: Star(9), wantN: 9, wantM: 8, wantMaxDeg: 8},
+		{name: "grid", g: Grid(3, 5), wantN: 15, wantM: 22, wantMaxDeg: 4},
+		{name: "hypercube", g: Hypercube(4), wantN: 16, wantM: 32, wantMaxDeg: 4},
+		{name: "tree", g: CompleteBinaryTree(7), wantN: 7, wantM: 6, wantMaxDeg: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.wantN {
+				t.Errorf("N = %d, want %d", tt.g.N(), tt.wantN)
+			}
+			if tt.g.M() != tt.wantM {
+				t.Errorf("M = %d, want %d", tt.g.M(), tt.wantM)
+			}
+			if tt.g.MaxDegree() != tt.wantMaxDeg {
+				t.Errorf("MaxDegree = %d, want %d", tt.g.MaxDegree(), tt.wantMaxDeg)
+			}
+		})
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(4)
+	for _, tc := range []struct{ n, d int }{{n: 10, d: 3}, {n: 20, d: 4}, {n: 8, d: 0}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("RandomRegular(%d,%d): degree(%d) = %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+	}
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Error("odd n*d should fail")
+	}
+	if _, err := RandomRegular(4, 4, r); err == nil {
+		t.Error("d >= n should fail")
+	}
+}
+
+func TestRandomBoundedDegreeRespectsCap(t *testing.T) {
+	r := rng.New(5)
+	g := RandomBoundedDegree(100, 4, 0.5, r)
+	if g.MaxDegree() > 4 {
+		t.Errorf("degree cap violated: %d", g.MaxDegree())
+	}
+	if g.M() == 0 {
+		t.Error("expected some edges at p=0.5")
+	}
+}
+
+func TestRandomGeometricGrid(t *testing.T) {
+	r := rng.New(6)
+	g := RandomGeometricGrid(49, 8, r)
+	if g.N() != 49 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.MaxDegree() > 8 {
+		t.Errorf("degree cap violated: %d", g.MaxDegree())
+	}
+	if !g.Connected() {
+		t.Error("geometric grid with this seed should be connected")
+	}
+}
+
+func TestPropertyNeighborsSortedAndSymmetric(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		d := int(dRaw%5) + 1
+		g := RandomBoundedDegree(n, d, 0.3, rng.New(seed))
+		for v := 0; v < g.N(); v++ {
+			prev := -1
+			for _, u := range g.Neighbors(v) {
+				if u <= prev || !g.HasEdge(u, v) {
+					return false
+				}
+				prev = u
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySquareContainsOriginal(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		g := RandomBoundedDegree(n, 4, 0.3, rng.New(seed))
+		sq := g.Square()
+		for _, e := range g.Edges() {
+			if !sq.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySquareMatchesBFS(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		g := RandomBoundedDegree(n, 4, 0.3, rng.New(seed))
+		sq := g.Square()
+		for v := 0; v < n; v++ {
+			dist, _ := g.BFS(v)
+			for u := 0; u < n; u++ {
+				if u == v {
+					continue
+				}
+				within2 := dist[u] == 1 || dist[u] == 2
+				if within2 != sq.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSquare(b *testing.B) {
+	g := RandomBoundedDegree(500, 10, 0.05, rng.New(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Square()
+	}
+}
+
+func BenchmarkDistanceTwoColoring(b *testing.B) {
+	g := RandomBoundedDegree(500, 10, 0.05, rng.New(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.DistanceTwoColoring()
+	}
+}
+
+func TestRandomRegularHighDegree(t *testing.T) {
+	// d >= 6 is where whole-graph rejection sampling fails; the edge-swap
+	// repair must handle it.
+	r := rng.New(44)
+	for _, tc := range []struct{ n, d int }{{n: 32, d: 8}, {n: 64, d: 8}, {n: 48, d: 16}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("RandomRegular(%d,%d): degree(%d) = %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestProjectivePlaneIncidence(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		g, err := ProjectivePlaneIncidence(q)
+		if err != nil {
+			t.Fatalf("PG(2,%d): %v", q, err)
+		}
+		m := q*q + q + 1
+		if g.N() != 2*m {
+			t.Fatalf("PG(2,%d): n = %d, want %d", q, g.N(), 2*m)
+		}
+		// (q+1)-regular.
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("PG(2,%d): degree(%d) = %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		// Girth 6: two points share exactly one line (no 4-cycles).
+		for p1 := 0; p1 < m; p1++ {
+			for p2 := p1 + 1; p2 < m; p2++ {
+				common := 0
+				for _, l := range g.Neighbors(p1) {
+					if g.HasEdge(p2, l) {
+						common++
+					}
+				}
+				if common != 1 {
+					t.Fatalf("PG(2,%d): points %d,%d share %d lines, want 1", q, p1, p2, common)
+				}
+			}
+		}
+		// The points form a clique in G² (any two points share a line), so
+		// χ(G²) ≥ m = Θ(Δ²) — the worst case for distance-2 coloring.
+		if q <= 3 {
+			sq := g.Square()
+			for p1 := 0; p1 < m; p1++ {
+				for p2 := p1 + 1; p2 < m; p2++ {
+					if !sq.HasEdge(p1, p2) {
+						t.Fatalf("PG(2,%d): points %d,%d not adjacent in G²", q, p1, p2)
+					}
+					if !sq.HasEdge(m+p1, m+p2) {
+						t.Fatalf("PG(2,%d): lines %d,%d not adjacent in G²", q, p1, p2)
+					}
+				}
+			}
+			if nc := NumColors(g.DistanceTwoColoring()); nc < m {
+				t.Errorf("PG(2,%d): distance-2 coloring used %d colors, want ≥ %d", q, nc, m)
+			}
+		}
+	}
+	if _, err := ProjectivePlaneIncidence(4); err == nil {
+		t.Error("composite order accepted")
+	}
+	if _, err := ProjectivePlaneIncidence(1); err == nil {
+		t.Error("order 1 accepted")
+	}
+}

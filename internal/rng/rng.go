@@ -1,0 +1,243 @@
+// Package rng provides the deterministic, splittable randomness substrate
+// for the reproduction. Every random choice in the system — node codeword
+// picks, Luby values, channel noise — flows from a single experiment seed
+// through hierarchical stream splits, so that every simulation, test, and
+// experiment is reproducible bit-for-bit.
+//
+// The generator is xoshiro256** seeded via SplitMix64, following the
+// reference construction of Blackman & Vigna. Streams are split by hashing
+// the parent state with caller-supplied keys (node ID, round, purpose),
+// which gives independent-for-our-purposes child streams without shared
+// mutable state, so per-node streams can be used concurrently.
+package rng
+
+import "math"
+
+// SplitMix64 advances the SplitMix64 state *x and returns the next output.
+// It is used both for seeding and for cheap key mixing.
+func SplitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix hashes an arbitrary sequence of keys into a single 64-bit value.
+// It is the basis of stream splitting.
+func Mix(keys ...uint64) uint64 {
+	state := uint64(0x6a09e667f3bcc909) // fractional bits of sqrt(2)
+	for _, k := range keys {
+		state ^= k
+		_ = SplitMix64(&state)
+		state ^= state >> 29
+	}
+	return SplitMix64(&state)
+}
+
+// Stream is a deterministic pseudo-random stream. The zero value is not
+// usable; construct with New or Split.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a Stream seeded from seed.
+func New(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		st.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &st
+}
+
+// Split derives an independent child stream keyed by keys. Splitting is a
+// pure function of the parent's *seed identity*, not its consumption
+// position: it hashes the parent's current state snapshot together with the
+// keys. Use distinct keys for distinct purposes.
+func (r *Stream) Split(keys ...uint64) *Stream {
+	all := make([]uint64, 0, len(keys)+4)
+	all = append(all, r.s[0], r.s[1], r.s[2], r.s[3])
+	all = append(all, keys...)
+	return New(Mix(all...))
+}
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded rejection method.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Stream) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random (Fisher–Yates).
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// SampleDistinct returns k distinct uniform values from [0, n) in arbitrary
+// order. It panics if k > n or either is negative. It uses Floyd's
+// algorithm, O(k) expected time and space.
+func (r *Stream) SampleDistinct(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("rng: SampleDistinct with invalid k, n")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := r.Intn(j + 1)
+		if _, dup := chosen[v]; dup {
+			v = j
+		}
+		chosen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FlipSampler yields the positions of independent Bernoulli(p) successes
+// over a stream of trials, using geometric skipping: expected O(p·n) work
+// to scan n trials. It is the channel-noise sampler: each listening slot is
+// flipped with probability ε, and FlipSampler enumerates exactly the
+// flipped slots.
+type FlipSampler struct {
+	r       *Stream
+	p       float64
+	invLog  float64 // 1 / ln(1-p)
+	next    int     // next flip position (absolute trial index)
+	certain bool    // p >= 1: every trial flips
+}
+
+// NewFlipSampler returns a sampler over Bernoulli(p) trials starting at
+// trial 0. p is clamped to [0, 1].
+func NewFlipSampler(r *Stream, p float64) *FlipSampler {
+	fs := &FlipSampler{r: r, p: p}
+	switch {
+	case p <= 0:
+		fs.next = math.MaxInt
+	case p >= 1:
+		fs.certain = true
+		fs.next = 0
+	default:
+		fs.invLog = 1 / math.Log1p(-p)
+		fs.next = -1
+		fs.advance()
+	}
+	return fs
+}
+
+// Next returns the next flip position, or (0, false) once positions reach
+// or exceed limit. Successive calls enumerate positions in increasing
+// order; the sampler then continues past limit on later calls with a larger
+// limit.
+func (fs *FlipSampler) Next(limit int) (int, bool) {
+	if fs.next >= limit {
+		return 0, false
+	}
+	pos := fs.next
+	fs.advance()
+	return pos, true
+}
+
+// Peek returns the next flip position without consuming it. If p = 0 the
+// returned position is effectively infinite (math.MaxInt).
+func (fs *FlipSampler) Peek() int { return fs.next }
+
+// Skip consumes the current flip position.
+func (fs *FlipSampler) Skip() { fs.advance() }
+
+func (fs *FlipSampler) advance() {
+	if fs.certain {
+		fs.next++
+		return
+	}
+	// Geometric(p) gap: floor(ln(U)/ln(1-p)) has the right distribution
+	// for the number of failures before the next success.
+	u := fs.r.Float64()
+	for u == 0 {
+		u = fs.r.Float64()
+	}
+	gap := int(math.Log(u) * fs.invLog)
+	if gap < 0 {
+		gap = 0
+	}
+	fs.next += 1 + gap
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	w0 := t & mask32
+	carry := t >> 32
+	t = aHi*bLo + carry
+	w1 := t & mask32
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + t>>32
+	lo = t<<32 | w0
+	return hi, lo
+}

@@ -1,0 +1,338 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero-seeded stream looks degenerate")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split(1)
+	b := root.Split(2)
+	aAgain := New(7).Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		va, vb := a.Uint64(), b.Uint64()
+		if va == vb {
+			same++
+		}
+		if va != aAgain.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams matched %d/100 outputs", same)
+	}
+}
+
+func TestSplitMultiKey(t *testing.T) {
+	root := New(7)
+	if root.Split(1, 2).Uint64() == root.Split(2, 1).Uint64() {
+		t.Error("Split(1,2) and Split(2,1) produced identical first outputs")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn(%d): value %d seen %d times, want ≈%.0f", n, v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(9)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / trials; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", rate)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 5, 64} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(17)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(19)
+	tests := []struct{ n, k int }{
+		{n: 10, k: 0},
+		{n: 10, k: 1},
+		{n: 10, k: 5},
+		{n: 10, k: 10},
+		{n: 1000, k: 64},
+	}
+	for _, tt := range tests {
+		got := r.SampleDistinct(tt.n, tt.k)
+		if len(got) != tt.k {
+			t.Fatalf("SampleDistinct(%d,%d) returned %d values", tt.n, tt.k, len(got))
+		}
+		seen := make(map[int]bool, tt.k)
+		for _, v := range got {
+			if v < 0 || v >= tt.n {
+				t.Fatalf("SampleDistinct(%d,%d): value %d out of range", tt.n, tt.k, v)
+			}
+			if seen[v] {
+				t.Fatalf("SampleDistinct(%d,%d): duplicate %d", tt.n, tt.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleDistinct(2,3) did not panic")
+		}
+	}()
+	New(1).SampleDistinct(2, 3)
+}
+
+func TestSampleDistinctUniform(t *testing.T) {
+	// Each element of [0,6) should appear in a 3-subset w.p. 1/2.
+	r := New(23)
+	counts := make([]int, 6)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleDistinct(6, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		rate := float64(c) / trials
+		if math.Abs(rate-0.5) > 0.01 {
+			t.Errorf("element %d appears with rate %v, want ≈0.5", v, rate)
+		}
+	}
+}
+
+func TestFlipSamplerRate(t *testing.T) {
+	tests := []float64{0.01, 0.05, 0.1, 0.25, 0.49}
+	const limit = 200000
+	for _, p := range tests {
+		fs := NewFlipSampler(New(uint64(p*1000)), p)
+		flips := 0
+		last := -1
+		for {
+			pos, ok := fs.Next(limit)
+			if !ok {
+				break
+			}
+			if pos <= last {
+				t.Fatalf("p=%v: positions not strictly increasing (%d after %d)", p, pos, last)
+			}
+			last = pos
+			flips++
+		}
+		rate := float64(flips) / limit
+		tol := 4 * math.Sqrt(p*(1-p)/limit)
+		if math.Abs(rate-p) > tol+0.001 {
+			t.Errorf("p=%v: flip rate %v", p, rate)
+		}
+	}
+}
+
+func TestFlipSamplerEdgeCases(t *testing.T) {
+	fs := NewFlipSampler(New(1), 0)
+	if _, ok := fs.Next(1 << 30); ok {
+		t.Error("p=0 sampler produced a flip")
+	}
+	fs = NewFlipSampler(New(1), 1)
+	for want := 0; want < 5; want++ {
+		got, ok := fs.Next(5)
+		if !ok || got != want {
+			t.Fatalf("p=1 sampler: got (%d,%v), want (%d,true)", got, ok, want)
+		}
+	}
+	if _, ok := fs.Next(5); ok {
+		t.Error("p=1 sampler exceeded limit")
+	}
+}
+
+func TestFlipSamplerResumesAcrossLimits(t *testing.T) {
+	fs := NewFlipSampler(New(2), 0.5)
+	var first []int
+	for {
+		pos, ok := fs.Next(100)
+		if !ok {
+			break
+		}
+		first = append(first, pos)
+	}
+	// Continue past the first window: positions must stay increasing and > 99.
+	pos, ok := fs.Next(10000)
+	if ok && len(first) > 0 && pos <= first[len(first)-1] {
+		t.Errorf("sampler went backwards across windows: %d after %v", pos, first[len(first)-1])
+	}
+}
+
+func TestMixDistinct(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix is order-insensitive")
+	}
+	if Mix(1) == Mix(1, 0) {
+		t.Error("Mix ignores trailing zero key")
+	}
+}
+
+func TestPropertyIntnBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySplitDeterministic(t *testing.T) {
+	f := func(seed, k1, k2 uint64) bool {
+		a := New(seed).Split(k1, k2)
+		b := New(seed).Split(k1, k2)
+		return a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkFlipSampler(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := NewFlipSampler(r, 0.05)
+		for {
+			if _, ok := fs.Next(100000); !ok {
+				break
+			}
+		}
+	}
+}

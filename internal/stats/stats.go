@@ -1,0 +1,105 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: moments, confidence half-widths, and least-squares fits
+// for scaling-law checks (e.g. "overhead grows linearly in Δ").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It errors on fewer than two points or zero x-variance.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("stats: need ≥2 paired points, got %d/%d", len(x), len(y))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("stats: zero variance in x")
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx, nil
+}
+
+// LogLogSlope fits log(y) against log(x) and returns the slope — the
+// empirical polynomial exponent of a scaling law. All values must be
+// positive.
+func LogLogSlope(x, y []float64) (float64, error) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || i >= len(y) || y[i] <= 0 {
+			return 0, fmt.Errorf("stats: log-log fit needs positive values")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	slope, _, err := LinearFit(lx, ly)
+	return slope, err
+}
+
+// Ratio returns a/b, or NaN if b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
