@@ -8,6 +8,12 @@
 //	beepsim -graph regular -n 64 -delta 8 -alg matching -eps 0.1
 //	beepsim -graph grid -n 36 -alg bfs -model native
 //	beepsim -graph pg -q 5 -alg mis -eps 0.05 -seed 7
+//	beepsim -graph regular -n 10000 -delta 16 -alg mis -workers 0
+//
+// -workers parallelizes the per-round simulation phases on the
+// deterministic sharded pool of internal/engine (1 = serial, 0 = one
+// worker per CPU); results are bit-identical for every setting, so the
+// flag is purely a throughput knob.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"repro/internal/algorithms/mis"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -37,9 +44,15 @@ func main() {
 		model     = flag.String("model", "beep", "execution model: native|beep")
 		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model)")
 		seed      = flag.Uint64("seed", 1, "seed")
+		workers   = flag.Int("workers", 1, "simulation workers: 1 = serial, 0 = one per CPU")
+		shards    = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
 	)
 	flag.Parse()
-	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *seed); err != nil {
+	w := *workers
+	if w == 0 {
+		w = engine.AutoWorkers
+	}
+	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *seed, w, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "beepsim:", err)
 		os.Exit(1)
 	}
@@ -153,7 +166,7 @@ func buildWorkload(name string, g *graph.Graph) (*workload, error) {
 	}
 }
 
-func run(graphKind string, n, delta, q int, algName, model string, eps float64, seed uint64) error {
+func run(graphKind string, n, delta, q int, algName, model string, eps float64, seed uint64, workers, shards int) error {
 	g, err := buildGraph(graphKind, n, delta, q, seed)
 	if err != nil {
 		return err
@@ -171,6 +184,7 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 		if err != nil {
 			return err
 		}
+		eng.SetParallelism(workers, shards)
 		res, err := eng.Run(w.algs, w.rounds)
 		if err != nil {
 			return err
@@ -188,6 +202,8 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 			ChannelSeed: seed,
 			AlgSeed:     seed,
 			NoisyOwn:    true,
+			Workers:     workers,
+			Shards:      shards,
 		})
 		if err != nil {
 			return err

@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only T4,T9]
+//	experiments [-quick] [-seed N] [-only T4,T9] [-workers W] [-shards S]
+//
+// -workers parallelizes the simulators' per-round phases (0 = one worker
+// per CPU, 1 = serial); every table is bit-identical for every setting.
 package main
 
 import (
@@ -18,19 +21,21 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run reduced-size experiments")
-		seed  = flag.Uint64("seed", 2023, "experiment seed")
-		only  = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "run reduced-size experiments")
+		seed    = flag.Uint64("seed", 2023, "experiment seed")
+		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		workers = flag.Int("workers", 0, "simulation workers: 0 = one per CPU, 1 = serial")
+		shards  = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
 	)
 	flag.Parse()
-	if err := run(*quick, *seed, *only); err != nil {
+	if err := run(*quick, *seed, *only, *workers, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, seed uint64, only string) error {
-	cfg := experiments.Config{Quick: quick, Seed: seed}
+func run(quick bool, seed uint64, only string, workers, shards int) error {
+	cfg := experiments.Config{Quick: quick, Seed: seed, Workers: workers, Shards: shards}
 	selected := make(map[string]bool)
 	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(id); id != "" {

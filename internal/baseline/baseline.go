@@ -24,6 +24,7 @@ import (
 	"repro/internal/bitstring"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/wire"
 )
@@ -42,6 +43,12 @@ type Config struct {
 	AlgSeed     uint64
 	// NoisyOwn forwards the own-reception noise convention.
 	NoisyOwn bool
+	// Workers and Shards mirror core.RunnerConfig: the per-node encode,
+	// radio, and decode phases run on a deterministic sharded pool, so
+	// results are bit-identical for every setting (0 or 1 = serial,
+	// engine.AutoWorkers = GOMAXPROCS).
+	Workers int
+	Shards  int
 }
 
 // DefaultRho returns a repetition count calibrated to eps, mirroring the
@@ -88,6 +95,8 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 		Epsilon:  cfg.Epsilon,
 		NoisyOwn: cfg.NoisyOwn,
 		Seed:     cfg.ChannelSeed,
+		Workers:  cfg.Workers,
+		Shards:   cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -130,86 +139,87 @@ func (r *Runner) Env(v int) congest.Env {
 // Run simulates the algorithms for at most maxSimRounds Broadcast CONGEST
 // rounds. The result type is shared with core for comparability;
 // MembershipErrors counts presence-detection mistakes (phantom or missed
-// transmissions).
+// transmissions). Per-node phases run on the beep network's deterministic
+// sharded pool (Config.Workers/Shards); results are bit-identical to a
+// serial run.
 func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core.Result, error) {
 	n := r.g.N()
 	if len(algs) != n {
 		return nil, fmt.Errorf("baseline: %d algorithms for %d nodes", len(algs), n)
 	}
+	pool := r.nw.Pool()
 	for v, a := range algs {
 		a.Init(r.Env(v))
 	}
 	res := &core.Result{}
 	msgs := make([]congest.Message, n)
-	for round := 0; round < maxSimRounds; round++ {
-		if done(algs) {
-			break
+	scores := make([]core.ScoreDelta, pool.NumShards(n))
+	doneAt := func(v int) bool { return algs[v].Done() }
+	simRounds, allDone, err := pool.Loop(n, maxSimRounds, doneAt, func(round int) error {
+		senders, err := congest.CollectBroadcasts(pool, algs, msgs, r.cfg.MsgBits, round, "baseline")
+		if err != nil {
+			return err
 		}
-		anySender := false
-		for v, a := range algs {
-			msgs[v] = nil
-			if a.Done() {
-				continue
-			}
-			m := a.Broadcast(round)
-			if m == nil {
-				continue
-			}
-			if err := congest.CheckWidth(m, r.cfg.MsgBits); err != nil {
-				return nil, fmt.Errorf("baseline: node %d round %d: %w", v, round, err)
-			}
-			msgs[v] = m
-			anySender = true
-		}
-		res.SimRounds++
-		if !anySender {
+		if senders == 0 {
 			for _, a := range algs {
 				if !a.Done() {
 					a.Receive(round, nil)
 				}
 			}
-			continue
+			return nil
 		}
 
 		patterns := make([]*bitstring.BitString, n)
 		total := r.RoundsPerSimRound()
-		for v := range patterns {
-			if msgs[v] == nil {
-				continue
-			}
-			p := bitstring.New(total)
-			base := r.colors[v] * r.slotLen()
-			for rep := 0; rep < r.cfg.Rho; rep++ {
-				p.Set(base + rep) // presence beacon
-			}
-			for bit := 0; bit < r.cfg.MsgBits; bit++ {
-				if !wire.Bit(msgs[v], bit) {
+		pool.Do(n, func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				if msgs[v] == nil {
 					continue
 				}
-				off := base + (1+bit)*r.cfg.Rho
+				p := bitstring.New(total)
+				base := r.colors[v] * r.slotLen()
 				for rep := 0; rep < r.cfg.Rho; rep++ {
-					p.Set(off + rep)
+					p.Set(base + rep) // presence beacon
 				}
+				for bit := 0; bit < r.cfg.MsgBits; bit++ {
+					if !wire.Bit(msgs[v], bit) {
+						continue
+					}
+					off := base + (1+bit)*r.cfg.Rho
+					for rep := 0; rep < r.cfg.Rho; rep++ {
+						p.Set(off + rep)
+					}
+				}
+				patterns[v] = p
 			}
-			patterns[v] = p
-		}
+		})
 		heard, err := r.nw.RunPhase(patterns)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.BeepRounds += total
 
-		for v, a := range algs {
-			if a.Done() {
-				continue
+		pool.Do(n, func(s engine.Span) {
+			scores[s.Index] = core.ScoreDelta{}
+			for v := s.Lo; v < s.Hi; v++ {
+				a := algs[v]
+				if a.Done() {
+					continue
+				}
+				inbox := r.decode(v, heard[v])
+				congest.SortMessages(inbox)
+				r.score(&scores[s.Index], v, msgs, inbox)
+				a.Receive(round, inbox)
 			}
-			inbox := r.decode(v, msgs[v] != nil, heard[v])
-			congest.SortMessages(inbox)
-			r.score(res, v, msgs, inbox)
-			a.Receive(round, inbox)
-		}
+		})
+		res.AddScores(scores)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.AllDone = done(algs)
+	res.SimRounds = simRounds
+	res.AllDone = allDone
 	res.Outputs = make([]any, n)
 	for v, a := range algs {
 		res.Outputs[v] = a.Output()
@@ -220,7 +230,7 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 
 // decode reads every foreign color slot: majority presence beacon, then
 // per-bit majority for the payload.
-func (r *Runner) decode(v int, sentSelf bool, heard *bitstring.BitString) []congest.Message {
+func (r *Runner) decode(v int, heard *bitstring.BitString) []congest.Message {
 	var inbox []congest.Message
 	for c := 0; c < r.numColors; c++ {
 		if c == r.colors[v] {
@@ -251,10 +261,10 @@ func (r *Runner) majority(heard *bitstring.BitString, off int) bool {
 	return 2*ones > r.cfg.Rho
 }
 
-func (r *Runner) score(res *core.Result, v int, msgs []congest.Message, inbox []congest.Message) {
+func (r *Runner) score(d *core.ScoreDelta, v int, msgs []congest.Message, inbox []congest.Message) {
 	var truth []congest.Message
 	presence := 0
-	for _, u := range r.g.Neighbors(v) {
+	for _, u := range r.g.Row(v) {
 		if msgs[u] != nil {
 			presence++
 			padded := make(congest.Message, (r.cfg.MsgBits+7)/8)
@@ -263,7 +273,7 @@ func (r *Runner) score(res *core.Result, v int, msgs []congest.Message, inbox []
 		}
 	}
 	if presence != len(inbox) {
-		res.MembershipErrors++
+		d.Membership++
 	}
 	congest.SortMessages(truth)
 	equal := len(truth) == len(inbox)
@@ -276,7 +286,7 @@ func (r *Runner) score(res *core.Result, v int, msgs []congest.Message, inbox []
 		}
 	}
 	if !equal {
-		res.MessageErrors++
+		d.Message++
 	}
 }
 
@@ -286,13 +296,4 @@ func (r *Runner) score(res *core.Result, v int, msgs []congest.Message, inbox []
 func EstimatedSetupRounds(n, maxDeg int) int {
 	logn := wire.BitsFor(n)
 	return maxDeg * maxDeg * maxDeg * maxDeg * logn
-}
-
-func done(algs []congest.BroadcastAlgorithm) bool {
-	for _, a := range algs {
-		if !a.Done() {
-			return false
-		}
-	}
-	return true
 }

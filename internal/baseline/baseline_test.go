@@ -2,9 +2,11 @@ package baseline
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/congest"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/wire"
@@ -156,5 +158,43 @@ func TestDefaultRhoMonotone(t *testing.T) {
 func TestEstimatedSetupRounds(t *testing.T) {
 	if got := EstimatedSetupRounds(256, 4); got != 4*4*4*4*8 {
 		t.Errorf("EstimatedSetupRounds = %d", got)
+	}
+}
+
+// TestBaselineSerialParallelIdentical: the TDMA runner's sharded phases
+// must be bit-identical to the serial run — outputs, error counters, beep
+// rounds, and energy — under noise.
+func TestBaselineSerialParallelIdentical(t *testing.T) {
+	// n must span several 64-aligned shards or the parallel path is never taken.
+	g := graph.RandomBoundedDegree(150, 5, 0.04, rng.New(31))
+	runOnce := func(workers, shards int) *core.Result {
+		r, err := NewRunner(g, Config{
+			MsgBits:     10,
+			Epsilon:     0.1,
+			ChannelSeed: 4,
+			AlgSeed:     5,
+			NoisyOwn:    true,
+			Workers:     workers,
+			Shards:      shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		algs := make([]congest.BroadcastAlgorithm, g.N())
+		for v := range algs {
+			algs[v] = &gossip{rounds: 3}
+		}
+		res, err := r.Run(algs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := runOnce(1, 0)
+	for _, cfg := range [][2]int{{2, 0}, {5, 7}} {
+		got := runOnce(cfg[0], cfg[1])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%v: result differs from serial:\n got %+v\nwant %+v", cfg, got, want)
+		}
 	}
 }

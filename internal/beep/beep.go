@@ -16,13 +16,22 @@
 // whose beep pattern over a window is fixed up front (RunPhase) — the shape
 // of Algorithm 1's two phases. The two paths are observationally
 // equivalent; TestRunPhaseEquivalence asserts bit-for-bit agreement.
+//
+// Both paths execute their per-node phases on the deterministic sharded
+// worker pool of internal/engine: Run propagates each round's beeps
+// through the graph's CSR rows as one bitset OR (graph.NeighborhoodOr)
+// rather than per-listener neighbor scans, and RunPhase computes each
+// node's windowed reception word-parallel over 64 rounds at a time.
+// Because every node's reception depends only on the previous beep vector
+// and its private noise stream, runs are bit-identical for every
+// Workers/Shards setting (TestRunSerialParallelIdentical).
 package beep
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/bitstring"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -52,6 +61,11 @@ type Env struct {
 // Each round, Step is called for the node's action, then Hear delivers the
 // received bit. Once Done reports true the node ceases participation: it
 // neither beeps nor hears.
+//
+// When Params.Workers > 1, callbacks for distinct nodes run concurrently
+// within a phase (each node's own calls stay strictly ordered). Programs
+// must therefore confine mutable state to the node itself and draw
+// randomness only from Env.Rng — no sharing across programs.
 type Program interface {
 	Init(env Env)
 	Step(round int) Action
@@ -75,11 +89,15 @@ type Params struct {
 	// retrievable via Network.BeepHistory (used by the lower-bound
 	// transcript experiments).
 	RecordBeeps bool
-	// Workers sets the number of goroutines RunPhase uses for the
-	// per-node OR/noise computation (0 or 1 = serial). Results are
-	// bit-identical to the serial path: per-node noise streams are
-	// independent and each worker writes only its own nodes.
+	// Workers sets the number of goroutines Run and RunPhase use for the
+	// per-node step/receive phases (0 or 1 = serial,
+	// engine.AutoWorkers = GOMAXPROCS). Results are bit-identical to the
+	// serial path: per-node noise streams are independent and shards are
+	// word-aligned, so each worker writes only its own nodes.
 	Workers int
+	// Shards overrides the pool's shard count (0 = derived from Workers).
+	// Like Workers it never changes results, only load balancing.
+	Shards int
 }
 
 // Network is a beeping network over a fixed graph. It maintains a global
@@ -89,6 +107,7 @@ type Params struct {
 type Network struct {
 	g      *graph.Graph
 	params Params
+	pool   *engine.Pool
 
 	round      int
 	totalBeeps int64
@@ -104,12 +123,17 @@ func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
 	return &Network{
 		g:      g,
 		params: params,
+		pool:   engine.NewPool(params.Workers, params.Shards),
 		noise:  make([]*rng.FlipSampler, g.N()),
 	}, nil
 }
 
 // Graph returns the underlying graph.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Pool returns the network's execution pool (for callers that stage their
+// own per-node phases, such as the Algorithm 1 runner's decode step).
+func (nw *Network) Pool() *engine.Pool { return nw.pool }
 
 // Round returns the absolute number of rounds executed so far.
 func (nw *Network) Round() int { return nw.round }
@@ -147,8 +171,9 @@ type Result struct {
 // done or maxRounds rounds elapse. Round numbers passed to programs are
 // local to this call, starting at 0.
 func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
-	if len(progs) != nw.g.N() {
-		return nil, fmt.Errorf("beep: %d programs for %d nodes", len(progs), nw.g.N())
+	n := nw.g.N()
+	if len(progs) != n {
+		return nil, fmt.Errorf("beep: %d programs for %d nodes", len(progs), n)
 	}
 	if maxRounds < 0 {
 		return nil, fmt.Errorf("beep: negative round budget %d", maxRounds)
@@ -156,51 +181,86 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 	for v, p := range progs {
 		p.Init(nw.NodeEnv(v))
 	}
-	n := nw.g.N()
+	if nw.params.Epsilon > 0 {
+		// Materialize samplers before the parallel phases; creation is a
+		// pure function of (seed, v), so the order is immaterial.
+		for v := 0; v < n; v++ {
+			nw.noiseSampler(v)
+		}
+	}
 	beeped := bitstring.New(n)
-	localRound := 0
-	for ; localRound < maxRounds; localRound++ {
-		if allDone(progs) {
-			break
-		}
+	heard := bitstring.New(n)
+	done := func(v int) bool { return progs[v].Done() }
+	rounds, allDone, _ := nw.pool.Loop(n, maxRounds, done, func(localRound int) error {
 		beeped.Reset()
-		for v, p := range progs {
-			if p.Done() {
-				continue
+		heard.Reset()
+		// Transmit phase: each shard writes only its own word-aligned
+		// region of the beep vector.
+		nw.totalBeeps += nw.pool.Sum(n, func(s engine.Span) int64 {
+			var beeps int64
+			for v := s.Lo; v < s.Hi; v++ {
+				p := progs[v]
+				if p.Done() {
+					continue
+				}
+				if p.Step(localRound) == Beep {
+					beeped.Set(v)
+					beeps++
+				}
 			}
-			if p.Step(localRound) == Beep {
-				beeped.Set(v)
-				nw.totalBeeps++
-			}
-		}
+			return beeps
+		})
 		if nw.params.RecordBeeps {
 			nw.history = append(nw.history, beeped.Clone())
 		}
-		for v, p := range progs {
-			if p.Done() {
-				continue
-			}
-			bit := beeped.Get(v)
-			if !bit {
-				for _, u := range nw.g.Neighbors(v) {
-					if beeped.Get(u) {
-						bit = true
-						break
-					}
-				}
-			}
-			if nw.flipAt(v, nw.round, beeped.Get(v)) {
-				bit = !bit
-			}
-			p.Hear(localRound, bit)
+		// Receive phase: propagate the beep vector through the CSR rows,
+		// then deliver each node's noisy reception. Dense rounds on a
+		// parallel pool fuse per-span receiver-centric propagation with
+		// delivery; otherwise the propagation runs up front (when
+		// beeping is sparse the sender-centric pass touches only the
+		// beepers' rows, far less work than any per-listener scan) and
+		// only delivery is fanned out. All variants OR the same bits,
+		// so results are identical.
+		if nw.pool.Parallel() && nw.g.DenseBeepers(beeped) {
+			nw.pool.Do(n, func(s engine.Span) {
+				nw.g.NeighborhoodOrRange(beeped, heard, s.Lo, s.Hi)
+				nw.hearRange(progs, beeped, heard, localRound, s.Lo, s.Hi)
+			})
+		} else {
+			nw.g.NeighborhoodOr(beeped, heard)
+			nw.pool.Do(n, func(s engine.Span) {
+				nw.hearRange(progs, beeped, heard, localRound, s.Lo, s.Hi)
+			})
 		}
 		nw.round++
-	}
+		return nil
+	})
 	outputs := make([]any, n)
 	for v, p := range progs {
 		outputs[v] = p.Output()
 	}
-	return &Result{Rounds: localRound, AllDone: allDone(progs), Outputs: outputs}, nil
+	return &Result{Rounds: rounds, AllDone: allDone, Outputs: outputs}, nil
+}
+
+// hearRange delivers round localRound's reception to nodes [lo, hi): the
+// propagated neighborhood bit, OR'd with the node's own beep, through the
+// node's private noise stream. It reads the bitsets word-at-a-time — the
+// reception of node v is bit v&63 of (heard|beeped)'s word v>>6.
+func (nw *Network) hearRange(progs []Program, beeped, heard *bitstring.BitString, localRound, lo, hi int) {
+	hw, bw := heard.Words(), beeped.Words()
+	noisy := nw.params.Epsilon > 0
+	for v := lo; v < hi; v++ {
+		p := progs[v]
+		if p.Done() {
+			continue
+		}
+		mask := uint64(1) << (uint(v) & 63)
+		bit := (hw[v>>6]|bw[v>>6])&mask != 0
+		if noisy && nw.flipAt(v, nw.round, bw[v>>6]&mask != 0) {
+			bit = !bit
+		}
+		p.Hear(localRound, bit)
+	}
 }
 
 // RunPhase executes a fixed transmission window: node v beeps exactly at
@@ -211,8 +271,9 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 //
 // RunPhase is semantically identical to Run with per-pattern transmit
 // programs but runs word-parallel: the OR over the inclusive neighborhood
-// is computed 64 rounds at a time, and noise is applied by enumerating
-// flip positions with a geometric sampler.
+// is computed 64 rounds at a time over the CSR rows, and noise is applied
+// by enumerating flip positions with a geometric sampler. The per-node
+// receptions are computed on the network's sharded pool.
 func (nw *Network) RunPhase(patterns []*bitstring.BitString) ([]*bitstring.BitString, error) {
 	n := nw.g.N()
 	if len(patterns) != n {
@@ -238,31 +299,19 @@ func (nw *Network) RunPhase(patterns []*bitstring.BitString) ([]*bitstring.BitSt
 			nw.totalBeeps += int64(patterns[v].Ones())
 		}
 	}
-	received := make([]*bitstring.BitString, n)
-	if workers := nw.params.Workers; workers > 1 {
-		// Pre-create noise samplers serially (lazy creation would race).
-		if nw.params.Epsilon > 0 {
-			for v := 0; v < n; v++ {
-				nw.noiseSampler(v)
-			}
-		}
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			w := w
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for v := w; v < n; v += workers {
-					received[v] = nw.receiveOne(v, patterns, length)
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
+	if nw.params.Epsilon > 0 && nw.pool.Parallel() {
+		// Pre-create noise samplers (lazy creation inside the phase would
+		// be per-slot too, but keeping it here makes the invariant obvious).
 		for v := 0; v < n; v++ {
-			received[v] = nw.receiveOne(v, patterns, length)
+			nw.noiseSampler(v)
 		}
 	}
+	received := make([]*bitstring.BitString, n)
+	nw.pool.Do(n, func(s engine.Span) {
+		for v := s.Lo; v < s.Hi; v++ {
+			received[v] = nw.receiveOne(v, patterns, length)
+		}
+	})
 	if nw.params.RecordBeeps {
 		for t := 0; t < length; t++ {
 			col := bitstring.New(n)
@@ -287,9 +336,9 @@ func (nw *Network) receiveOne(v int, patterns []*bitstring.BitString, length int
 	if patterns[v] != nil {
 		acc.OrInPlace(patterns[v])
 	}
-	for _, u := range nw.g.Neighbors(v) {
-		if patterns[u] != nil {
-			acc.OrInPlace(patterns[u])
+	for _, u := range nw.g.Row(v) {
+		if p := patterns[u]; p != nil {
+			acc.OrInPlace(p)
 		}
 	}
 	if nw.params.Epsilon > 0 {
@@ -337,13 +386,4 @@ func (nw *Network) noiseSampler(v int) *rng.FlipSampler {
 		nw.noise[v] = rng.NewFlipSampler(stream, nw.params.Epsilon)
 	}
 	return nw.noise[v]
-}
-
-func allDone(progs []Program) bool {
-	for _, p := range progs {
-		if !p.Done() {
-			return false
-		}
-	}
-	return true
 }

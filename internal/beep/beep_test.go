@@ -435,3 +435,123 @@ func TestRunPhaseParallelEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// contender is a randomized beeping program exercising the full engine:
+// each round it beeps with probability 1/(deg+1) from its private stream,
+// records every received bit, and finishes after a fixed horizon. It is
+// the workload shape of Luby-style beeping algorithms.
+type contender struct {
+	env     Env
+	horizon int
+	heard   []bool
+	done    bool
+}
+
+func (c *contender) Init(env Env) { c.env = env }
+func (c *contender) Step(round int) Action {
+	if c.env.Rng.Bool(1 / float64(c.env.Degree+1)) {
+		return Beep
+	}
+	return Listen
+}
+func (c *contender) Hear(round int, bit bool) {
+	c.heard = append(c.heard, bit)
+	if len(c.heard) >= c.horizon {
+		c.done = true
+	}
+}
+func (c *contender) Done() bool  { return c.done }
+func (c *contender) Output() any { return append([]bool(nil), c.heard...) }
+
+// TestRunSerialParallelIdentical: Run with Workers>1 must be bit-identical
+// to the serial run — same outputs, same round count, same energy, and the
+// same per-round beep transcript — for every worker/shard setting and
+// noise level.
+func TestRunSerialParallelIdentical(t *testing.T) {
+	gr := graph.RandomBoundedDegree(150, 7, 0.05, rng.New(99))
+	const horizon = 40
+	runOnce := func(workers, shards int, eps float64) (*Result, []*bitstring.BitString, int64) {
+		nw, err := NewNetwork(gr, Params{
+			Epsilon:     eps,
+			NoisyOwn:    true,
+			Seed:        7,
+			RecordBeeps: true,
+			Workers:     workers,
+			Shards:      shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs := make([]Program, gr.N())
+		for v := range progs {
+			progs[v] = &contender{horizon: horizon}
+		}
+		res, err := nw.Run(progs, horizon+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, nw.BeepHistory(), nw.TotalBeeps()
+	}
+	for _, eps := range []float64{0, 0.2} {
+		wantRes, wantHist, wantBeeps := runOnce(1, 0, eps)
+		for _, cfg := range [][2]int{{2, 0}, {4, 1}, {8, 3}, {3, 100}} {
+			res, hist, beeps := runOnce(cfg[0], cfg[1], eps)
+			if res.Rounds != wantRes.Rounds || res.AllDone != wantRes.AllDone {
+				t.Fatalf("eps=%v workers=%v: result shape differs: %+v vs %+v", eps, cfg, res, wantRes)
+			}
+			if beeps != wantBeeps {
+				t.Fatalf("eps=%v workers=%v: TotalBeeps %d vs %d", eps, cfg, beeps, wantBeeps)
+			}
+			if len(hist) != len(wantHist) {
+				t.Fatalf("eps=%v workers=%v: history length %d vs %d", eps, cfg, len(hist), len(wantHist))
+			}
+			for i := range hist {
+				if !hist[i].Equal(wantHist[i]) {
+					t.Fatalf("eps=%v workers=%v: beep transcript differs at round %d", eps, cfg, i)
+				}
+			}
+			for v := range res.Outputs {
+				got := res.Outputs[v].([]bool)
+				want := wantRes.Outputs[v].([]bool)
+				if len(got) != len(want) {
+					t.Fatalf("eps=%v workers=%v: node %d heard %d bits vs %d", eps, cfg, v, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("eps=%v workers=%v: node %d reception differs at round %d", eps, cfg, v, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBitsetPropagationSemantics pins the carrier-sense semantics the
+// bitset path must preserve on a star: center beep reaches all leaves, leaf beep
+// reaches only the center, and simultaneous leaf beeps do not sum.
+func TestRunBitsetPropagationSemantics(t *testing.T) {
+	gr := graph.Star(6)
+	nw, err := NewNetwork(gr, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := make([]*bitstring.BitString, 6)
+	// Round 0: leaves 1 and 2 beep. Round 1: center beeps. Round 2: silence.
+	for v := 1; v <= 2; v++ {
+		patterns[v] = bitstring.New(3)
+		patterns[v].Set(0)
+	}
+	patterns[0] = bitstring.New(3)
+	patterns[0].Set(1)
+	got, err := nw.RunPhase(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		wantR0 := v == 0 || v == 1 || v == 2 // center hears leaves; beepers hear themselves
+		wantR1 := true                       // center's beep reaches everyone (and itself)
+		if got[v].Get(0) != wantR0 || got[v].Get(1) != wantR1 || got[v].Get(2) {
+			t.Fatalf("node %d received %v", v, got[v])
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -51,6 +52,12 @@ func NodeStream(seed uint64, node int) *rng.Stream {
 // Each round the engine calls Broadcast for the node's message (nil to
 // stay silent), then Receive with the neighbors' messages. A node whose
 // Done returns true stops sending and receiving.
+//
+// Every engine (native and beep-simulated) may call distinct nodes'
+// callbacks concurrently within a phase when configured with multiple
+// workers; algorithms must keep mutable state per node and use only
+// Env.Rng for randomness. Returned messages must not be mutated after
+// being returned.
 type BroadcastAlgorithm interface {
 	Init(env Env)
 	Broadcast(round int) Message
@@ -76,15 +83,24 @@ type BroadcastEngine struct {
 	g       *graph.Graph
 	msgBits int
 	seed    uint64
+	pool    *engine.Pool
 }
 
 // NewBroadcastEngine creates an engine over g with the given bandwidth in
-// bits per message.
+// bits per message. The engine starts serial; use SetParallelism for
+// multi-worker execution.
 func NewBroadcastEngine(g *graph.Graph, msgBits int, seed uint64) (*BroadcastEngine, error) {
 	if msgBits <= 0 {
 		return nil, fmt.Errorf("congest: bandwidth %d bits", msgBits)
 	}
-	return &BroadcastEngine{g: g, msgBits: msgBits, seed: seed}, nil
+	return &BroadcastEngine{g: g, msgBits: msgBits, seed: seed, pool: engine.NewPool(1, 0)}, nil
+}
+
+// SetParallelism configures the worker pool the per-round phases run on
+// (workers <= 1 serial, engine.AutoWorkers = GOMAXPROCS; shards 0 =
+// derived from workers). Results are bit-identical for every setting.
+func (e *BroadcastEngine) SetParallelism(workers, shards int) {
+	e.pool = engine.NewPool(workers, shards)
 }
 
 // Env builds node v's environment.
@@ -99,8 +115,40 @@ func (e *BroadcastEngine) Env(v int) Env {
 	}
 }
 
+// CollectBroadcasts runs one round's broadcast-collection phase on pool:
+// each non-done algorithm's validated message lands in msgs[v] (nil for
+// silence or done nodes). It returns the sender count and the first
+// validation error in node order, prefixed with errPrefix. It is the
+// phase shared by the native engine, the Algorithm 1 runner, and the
+// TDMA baseline.
+func CollectBroadcasts(pool *engine.Pool, algs []BroadcastAlgorithm, msgs []Message, msgBits, round int, errPrefix string) (int64, error) {
+	return pool.SumErr(len(algs), func(s engine.Span) (int64, error) {
+		var sends int64
+		for v := s.Lo; v < s.Hi; v++ {
+			a := algs[v]
+			msgs[v] = nil
+			if a.Done() {
+				continue
+			}
+			m := a.Broadcast(round)
+			if m == nil {
+				continue
+			}
+			if err := CheckWidth(m, msgBits); err != nil {
+				return sends, fmt.Errorf("%s: node %d round %d: %w", errPrefix, v, round, err)
+			}
+			msgs[v] = m
+			sends++
+		}
+		return sends, nil
+	})
+}
+
 // Run initializes and drives the algorithms until all are done or
-// maxRounds communication rounds elapse.
+// maxRounds communication rounds elapse. The send and deliver phases run
+// span-parallel on the engine's pool; results are bit-identical to a
+// serial run (each phase writes only per-node slots, and delivery is
+// canonically sorted).
 func (e *BroadcastEngine) Run(algs []BroadcastAlgorithm, maxRounds int) (*Result, error) {
 	n := e.g.N()
 	if len(algs) != n {
@@ -111,41 +159,36 @@ func (e *BroadcastEngine) Run(algs []BroadcastAlgorithm, maxRounds int) (*Result
 	}
 	res := &Result{}
 	sent := make([]Message, n)
-	for round := 0; round < maxRounds; round++ {
-		if broadcastAllDone(algs) {
-			break
+	done := func(v int) bool { return algs[v].Done() }
+	rounds, allDone, err := e.pool.Loop(n, maxRounds, done, func(round int) error {
+		count, err := CollectBroadcasts(e.pool, algs, sent, e.msgBits, round, "congest")
+		if err != nil {
+			return err
 		}
-		for v, a := range algs {
-			sent[v] = nil
-			if a.Done() {
-				continue
-			}
-			m := a.Broadcast(round)
-			if m == nil {
-				continue
-			}
-			if err := CheckWidth(m, e.msgBits); err != nil {
-				return nil, fmt.Errorf("congest: node %d round %d: %w", v, round, err)
-			}
-			sent[v] = m
-			res.Messages++
-		}
-		for v, a := range algs {
-			if a.Done() {
-				continue
-			}
-			var inbox []Message
-			for _, u := range e.g.Neighbors(v) {
-				if sent[u] != nil {
-					inbox = append(inbox, sent[u])
+		e.pool.Do(n, func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				a := algs[v]
+				if a.Done() {
+					continue
 				}
+				var inbox []Message
+				for _, u := range e.g.Row(v) {
+					if sent[u] != nil {
+						inbox = append(inbox, sent[u])
+					}
+				}
+				SortMessages(inbox)
+				a.Receive(round, inbox)
 			}
-			SortMessages(inbox)
-			a.Receive(round, inbox)
-		}
-		res.Rounds++
+		})
+		res.Messages += count
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.AllDone = broadcastAllDone(algs)
+	res.Rounds = rounds
+	res.AllDone = allDone
 	res.Outputs = make([]any, n)
 	for v, a := range algs {
 		res.Outputs[v] = a.Output()
@@ -173,13 +216,4 @@ func CheckWidth(m Message, msgBits int) error {
 // order, the deterministic representation of unattributed delivery.
 func SortMessages(msgs []Message) {
 	sort.Slice(msgs, func(i, j int) bool { return bytes.Compare(msgs[i], msgs[j]) < 0 })
-}
-
-func broadcastAllDone(algs []BroadcastAlgorithm) bool {
-	for _, a := range algs {
-		if !a.Done() {
-			return false
-		}
-	}
-	return true
 }

@@ -2,9 +2,11 @@ package congest
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/wire"
 )
 
@@ -300,5 +302,103 @@ func TestCongestIncomingSortedByFrom(t *testing.T) {
 	center := res.Outputs[0].(map[int]uint64)
 	if len(center) != 4 {
 		t.Errorf("center received from %d senders, want 4", len(center))
+	}
+}
+
+// TestBroadcastSerialParallelIdentical: the broadcast engine's sharded
+// execution must reproduce the serial run exactly — outputs, round count,
+// and message count — for every worker/shard setting.
+func TestBroadcastSerialParallelIdentical(t *testing.T) {
+	g, err := graph.RandomRegular(120, 6, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(workers, shards int) *Result {
+		e, err := NewBroadcastEngine(g, 16, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetParallelism(workers, shards)
+		algs := make([]BroadcastAlgorithm, g.N())
+		for v := range algs {
+			algs[v] = &gossip{}
+		}
+		res, err := e.Run(algs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := runOnce(1, 0)
+	for _, cfg := range [][2]int{{2, 0}, {4, 3}, {8, 64}} {
+		got := runOnce(cfg[0], cfg[1])
+		if got.Rounds != want.Rounds || got.AllDone != want.AllDone || got.Messages != want.Messages {
+			t.Fatalf("workers=%v: %+v vs serial %+v", cfg, got, want)
+		}
+		if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+			t.Fatalf("workers=%v: outputs differ from serial run", cfg)
+		}
+	}
+}
+
+// TestCongestSerialParallelIdentical: the directed engine's
+// receiver-centric parallel delivery must match the serial run exactly.
+func TestCongestSerialParallelIdentical(t *testing.T) {
+	g, err := graph.RandomRegular(80, 5, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(workers, shards int) *Result {
+		e, err := NewEngine(g, 16, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetParallelism(workers, shards)
+		algs := make([]Algorithm, g.N())
+		for v := range algs {
+			algs[v] = &idExchange{}
+		}
+		res, err := e.Run(algs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := runOnce(1, 0)
+	for _, cfg := range [][2]int{{2, 0}, {6, 10}} {
+		got := runOnce(cfg[0], cfg[1])
+		if got.Rounds != want.Rounds || got.AllDone != want.AllDone || got.Messages != want.Messages {
+			t.Fatalf("workers=%v: %+v vs serial %+v", cfg, got, want)
+		}
+		if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+			t.Fatalf("workers=%v: outputs differ from serial run", cfg)
+		}
+	}
+}
+
+// TestParallelValidationErrorMatchesSerial: bandwidth violations must
+// surface the same (first-in-vertex-order) error under parallel execution.
+func TestParallelValidationErrorMatchesSerial(t *testing.T) {
+	g := graph.Complete(70)
+	runOnce := func(workers int) error {
+		e, err := NewBroadcastEngine(g, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetParallelism(workers, 0)
+		algs := make([]BroadcastAlgorithm, g.N())
+		for v := range algs {
+			algs[v] = &oversender{}
+		}
+		_, err = e.Run(algs, 1)
+		return err
+	}
+	serial := runOnce(1)
+	parallel := runOnce(8)
+	if serial == nil || parallel == nil {
+		t.Fatal("expected bandwidth errors")
+	}
+	if serial.Error() != parallel.Error() {
+		t.Fatalf("error differs: %q vs %q", serial, parallel)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
@@ -24,6 +25,10 @@ type Incoming struct {
 // beep-level simulation the same information is obtained by one discovery
 // round, per Corollary 12). Send may return at most one message per
 // neighbor per round.
+//
+// As with BroadcastAlgorithm, distinct nodes' callbacks may run
+// concurrently when the engine has multiple workers: keep mutable state
+// per node and use only Env.Rng for randomness.
 type Algorithm interface {
 	Init(env Env, neighbors []int)
 	Send(round int) []Directed
@@ -37,15 +42,24 @@ type Engine struct {
 	g       *graph.Graph
 	msgBits int
 	seed    uint64
+	pool    *engine.Pool
 }
 
 // NewEngine creates a CONGEST engine over g with the given per-message
-// bandwidth in bits.
+// bandwidth in bits. The engine starts serial; use SetParallelism for
+// multi-worker execution.
 func NewEngine(g *graph.Graph, msgBits int, seed uint64) (*Engine, error) {
 	if msgBits <= 0 {
 		return nil, fmt.Errorf("congest: bandwidth %d bits", msgBits)
 	}
-	return &Engine{g: g, msgBits: msgBits, seed: seed}, nil
+	return &Engine{g: g, msgBits: msgBits, seed: seed, pool: engine.NewPool(1, 0)}, nil
+}
+
+// SetParallelism configures the worker pool the per-round phases run on
+// (workers <= 1 serial, engine.AutoWorkers = GOMAXPROCS; shards 0 =
+// derived from workers). Results are bit-identical for every setting.
+func (e *Engine) SetParallelism(workers, shards int) {
+	e.pool = engine.NewPool(workers, shards)
 }
 
 // Env builds node v's environment.
@@ -62,6 +76,15 @@ func (e *Engine) Env(v int) Env {
 
 // Run initializes and drives the algorithms until all are done or
 // maxRounds communication rounds elapse.
+//
+// Each round has two span-parallel phases on the engine's pool: a send
+// phase in which every node's validated outbox — copied and sorted by
+// destination — lands in its own slot, and a receiver-centric delivery
+// phase in which each node gathers the message addressed to it from each
+// neighbor's outbox by binary search (O(deg·log Δ) per receiver).
+// Scanning the CSR row in neighbor order means inboxes arrive sorted by
+// sender exactly as the serial engine delivered them. Results are
+// bit-identical for every worker setting.
 func (e *Engine) Run(algs []Algorithm, maxRounds int) (*Result, error) {
 	n := e.g.N()
 	if len(algs) != n {
@@ -71,58 +94,72 @@ func (e *Engine) Run(algs []Algorithm, maxRounds int) (*Result, error) {
 		a.Init(e.Env(v), e.g.Neighbors(v))
 	}
 	res := &Result{}
-	inboxes := make([][]Incoming, n)
-	for round := 0; round < maxRounds; round++ {
-		if congestAllDone(algs) {
-			break
-		}
-		for v := range inboxes {
-			inboxes[v] = nil
-		}
-		for v, a := range algs {
-			if a.Done() {
-				continue
-			}
-			out := a.Send(round)
-			seen := make(map[int]bool, len(out))
-			for _, d := range out {
-				if !e.g.HasEdge(v, d.To) {
-					return nil, fmt.Errorf("congest: node %d round %d: sends to non-neighbor %d", v, round, d.To)
+	outs := make([][]Directed, n)
+	done := func(v int) bool { return algs[v].Done() }
+	rounds, allDone, err := e.pool.Loop(n, maxRounds, done, func(round int) error {
+		count, err := e.pool.SumErr(n, func(s engine.Span) (int64, error) {
+			var sends int64
+			for v := s.Lo; v < s.Hi; v++ {
+				a := algs[v]
+				outs[v] = nil
+				if a.Done() {
+					continue
 				}
-				if seen[d.To] {
-					return nil, fmt.Errorf("congest: node %d round %d: duplicate message to %d", v, round, d.To)
+				out := a.Send(round)
+				seen := make(map[int]bool, len(out))
+				for _, d := range out {
+					if !e.g.HasEdge(v, d.To) {
+						return sends, fmt.Errorf("congest: node %d round %d: sends to non-neighbor %d", v, round, d.To)
+					}
+					if seen[d.To] {
+						return sends, fmt.Errorf("congest: node %d round %d: duplicate message to %d", v, round, d.To)
+					}
+					seen[d.To] = true
+					if err := CheckWidth(d.Msg, e.msgBits); err != nil {
+						return sends, fmt.Errorf("congest: node %d round %d: %w", v, round, err)
+					}
 				}
-				seen[d.To] = true
-				if err := CheckWidth(d.Msg, e.msgBits); err != nil {
-					return nil, fmt.Errorf("congest: node %d round %d: %w", v, round, err)
+				// Copy (the algorithm owns its slice) and sort by
+				// destination so receivers can binary-search.
+				out = append([]Directed(nil), out...)
+				sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+				outs[v] = out
+				sends += int64(len(out))
+			}
+			return sends, nil
+		})
+		if err != nil {
+			return err
+		}
+		e.pool.Do(n, func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				a := algs[v]
+				if a.Done() {
+					continue
 				}
-				inboxes[d.To] = append(inboxes[d.To], Incoming{From: v, Msg: d.Msg})
-				res.Messages++
+				var in []Incoming
+				for _, u := range e.g.Row(v) {
+					out := outs[u]
+					i, found := sort.Find(len(out), func(i int) int { return v - out[i].To })
+					if found {
+						in = append(in, Incoming{From: int(u), Msg: out[i].Msg})
+					}
+				}
+				// Row order is ascending, so in is already sorted by From.
+				a.Receive(round, in)
 			}
-		}
-		for v, a := range algs {
-			if a.Done() {
-				continue
-			}
-			in := inboxes[v]
-			sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
-			a.Receive(round, in)
-		}
-		res.Rounds++
+		})
+		res.Messages += count
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.AllDone = congestAllDone(algs)
+	res.Rounds = rounds
+	res.AllDone = allDone
 	res.Outputs = make([]any, n)
 	for v, a := range algs {
 		res.Outputs[v] = a.Output()
 	}
 	return res, nil
-}
-
-func congestAllDone(algs []Algorithm) bool {
-	for _, a := range algs {
-		if !a.Done() {
-			return false
-		}
-	}
-	return true
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
+	"repro/internal/bitstring"
 	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -404,5 +406,59 @@ func TestPaperParams(t *testing.T) {
 	}
 	if _, err := PaperParams(256, 8, 1, 0); err == nil {
 		t.Error("ε=0 accepted (paper constants are for the noisy model)")
+	}
+}
+
+// TestRunnerSerialParallelIdentical: the Algorithm 1 runner's sharded
+// phases (collect, assign, encode, radio, decode) must be bit-identical to
+// the serial run, including transcripts and error counters, under noise
+// and in both assignment modes.
+func TestRunnerSerialParallelIdentical(t *testing.T) {
+	// n must span several 64-aligned shards or the parallel path is never taken.
+	g := graph.RandomBoundedDegree(160, 5, 0.03, rng.New(61))
+	for _, assign := range []Assignment{AssignByID, AssignRandom} {
+		runOnce := func(workers, shards int) (*Result, []*bitstring.BitString) {
+			p := DefaultParams(g.N(), g.MaxDegree(), 12, 0.1)
+			p.Assignment = assign
+			if assign == AssignRandom {
+				p.M = 256
+			}
+			r, err := NewBroadcastRunner(g, RunnerConfig{
+				Params:      p,
+				ChannelSeed: 8,
+				AlgSeed:     9,
+				NoisyOwn:    true,
+				RecordBeeps: true,
+				Workers:     workers,
+				Shards:      shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			algs := make([]congest.BroadcastAlgorithm, g.N())
+			for v := range algs {
+				algs[v] = &gossip{rounds: 2}
+			}
+			res, err := r.Run(algs, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, r.BeepHistory()
+		}
+		want, wantHist := runOnce(1, 0)
+		for _, cfg := range [][2]int{{2, 0}, {6, 9}} {
+			got, gotHist := runOnce(cfg[0], cfg[1])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("assign=%v workers=%v: result differs from serial:\n got %+v\nwant %+v", assign, cfg, got, want)
+			}
+			if len(gotHist) != len(wantHist) {
+				t.Fatalf("assign=%v workers=%v: transcript length %d vs %d", assign, cfg, len(gotHist), len(wantHist))
+			}
+			for i := range gotHist {
+				if !gotHist[i].Equal(wantHist[i]) {
+					t.Fatalf("assign=%v workers=%v: beep transcript differs at round %d", assign, cfg, i)
+				}
+			}
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/beep"
 	"repro/internal/bitstring"
 	"repro/internal/congest"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -31,9 +32,13 @@ type RunnerConfig struct {
 	// (the Lemma 14 / Theorem 22 counting experiments). Memory grows with
 	// beep rounds; leave off for large runs.
 	RecordBeeps bool
-	// Workers parallelizes the radio phases across goroutines (0 or 1 =
-	// serial). Results are bit-identical either way.
+	// Workers parallelizes the radio, encode, and decode phases across
+	// goroutines (0 or 1 = serial, engine.AutoWorkers = GOMAXPROCS).
+	// Results are bit-identical for every setting.
 	Workers int
+	// Shards overrides the worker pool's shard count (0 = derived from
+	// Workers). Like Workers it never changes results.
+	Shards int
 }
 
 // Result reports a simulated Broadcast CONGEST execution.
@@ -94,6 +99,7 @@ func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, err
 		Seed:        cfg.ChannelSeed,
 		RecordBeeps: cfg.RecordBeeps,
 		Workers:     cfg.Workers,
+		Shards:      cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -130,42 +136,34 @@ func (r *BroadcastRunner) Env(v int) congest.Env {
 
 // Run simulates the algorithms for at most maxSimRounds Broadcast CONGEST
 // rounds, each costing Params().RoundsPerSimRound() beep rounds.
+//
+// The broadcast-collection, codeword-encoding, and decode/deliver phases
+// run span-parallel on the beep network's worker pool (RunnerConfig's
+// Workers/Shards): every phase writes only per-node slots and the decoder
+// tables are read-only, so results are bit-identical to a serial run.
 func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*Result, error) {
 	n := r.g.N()
 	if len(algs) != n {
 		return nil, fmt.Errorf("core: %d algorithms for %d nodes", len(algs), n)
 	}
 	p := r.cfg.Params
+	pool := r.nw.Pool()
 	for v, a := range algs {
 		a.Init(r.Env(v))
 	}
 	res := &Result{}
 	msgs := make([]congest.Message, n)
 	cw := make([]int, n)
-	for round := 0; round < maxSimRounds; round++ {
-		if allDone(algs) {
-			break
-		}
+	scores := make([]ScoreDelta, pool.NumShards(n))
+	done := func(v int) bool { return algs[v].Done() }
+	simRounds, allDone, err := pool.Loop(n, maxSimRounds, done, func(round int) error {
 		// Collect the round's broadcasts; nil means the node stays silent
 		// and only listens.
-		anySender := false
-		for v, a := range algs {
-			msgs[v] = nil
-			if a.Done() {
-				continue
-			}
-			m := a.Broadcast(round)
-			if m == nil {
-				continue
-			}
-			if err := congest.CheckWidth(m, p.MsgBits); err != nil {
-				return nil, fmt.Errorf("core: node %d round %d: %w", v, round, err)
-			}
-			msgs[v] = m
-			anySender = true
+		senders, err := congest.CollectBroadcasts(pool, algs, msgs, p.MsgBits, round, "core")
+		if err != nil {
+			return err
 		}
-		res.SimRounds++
-		if !anySender {
+		if senders == 0 {
 			// Nothing on the air: every active node hears (noisy) silence
 			// and decodes an empty neighborhood. We skip the radio phases
 			// but still deliver the empty multiset.
@@ -174,74 +172,92 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 					a.Receive(round, nil)
 				}
 			}
-			continue
+			return nil
 		}
 
-		// Codeword assignment (Algorithm 1 line 1).
-		for v := range cw {
-			cw[v] = -1
-			if msgs[v] == nil {
-				continue
+		// Codeword assignment (Algorithm 1 line 1). Each node draws from
+		// its private stream, so the phase is span-safe.
+		pool.Do(n, func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				cw[v] = -1
+				if msgs[v] == nil {
+					continue
+				}
+				switch p.Assignment {
+				case AssignByID:
+					cw[v] = v
+				case AssignRandom:
+					cw[v] = r.cwStreams[v].Intn(p.M)
+				}
 			}
-			switch p.Assignment {
-			case AssignByID:
-				cw[v] = v
-			case AssignRandom:
-				cw[v] = r.cwStreams[v].Intn(p.M)
-			}
-		}
+		})
 
 		// Phase 1: beep C(r_v).
 		patterns := make([]*bitstring.BitString, n)
-		for v := range patterns {
-			if cw[v] >= 0 {
-				patterns[v] = r.dec.encodePhase1(cw[v])
+		pool.Do(n, func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				if cw[v] >= 0 {
+					patterns[v] = r.dec.encodePhase1(cw[v])
+				}
 			}
-		}
+		})
 		xs, err := r.nw.RunPhase(patterns)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Phase 2: beep CD(r_v, m_v).
-		for v := range patterns {
-			patterns[v] = nil
-			if cw[v] >= 0 {
-				patterns[v] = r.dec.encodePhase2(cw[v], msgs[v])
+		pool.Do(n, func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				patterns[v] = nil
+				if cw[v] >= 0 {
+					patterns[v] = r.dec.encodePhase2(cw[v], msgs[v])
+				}
 			}
-		}
+		})
 		ys, err := r.nw.RunPhase(patterns)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.BeepRounds += p.RoundsPerSimRound()
 
-		// Decode and deliver.
-		for v, a := range algs {
-			if a.Done() {
-				continue
-			}
-			decoded := r.dec.members(xs[v])
-			inbox := make([]congest.Message, 0, len(decoded))
-			for _, t := range decoded {
-				if cw[v] >= 0 && t == cw[v] {
-					continue // own transmission
+		// Decode and deliver. Scoring accumulates per span and is summed
+		// in span order so counters match the serial run exactly.
+		pool.Do(n, func(s engine.Span) {
+			scores[s.Index] = ScoreDelta{}
+			for v := s.Lo; v < s.Hi; v++ {
+				a := algs[v]
+				if a.Done() {
+					continue
 				}
-				var solo *bitstring.BitString
-				if p.DisableSoloFilter {
-					solo = bitstring.New(p.W()).Not()
-				} else {
-					solo = r.dec.soloMask(t, decoded)
+				decoded := r.dec.members(xs[v])
+				inbox := make([]congest.Message, 0, len(decoded))
+				for _, t := range decoded {
+					if cw[v] >= 0 && t == cw[v] {
+						continue // own transmission
+					}
+					var solo *bitstring.BitString
+					if p.DisableSoloFilter {
+						solo = bitstring.New(p.W()).Not()
+					} else {
+						solo = r.dec.soloMask(t, decoded)
+					}
+					inbox = append(inbox, r.dec.decodeMessage(t, ys[v], solo))
 				}
-				inbox = append(inbox, r.dec.decodeMessage(t, ys[v], solo))
-			}
-			congest.SortMessages(inbox)
+				congest.SortMessages(inbox)
 
-			r.score(res, v, cw, msgs, decoded, inbox)
-			a.Receive(round, inbox)
-		}
+				r.score(&scores[s.Index], v, cw, msgs, decoded, inbox)
+				a.Receive(round, inbox)
+			}
+		})
+		res.AddScores(scores)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.AllDone = allDone(algs)
+	res.SimRounds = simRounds
+	res.AllDone = allDone
 	res.Outputs = make([]any, n)
 	for v, a := range algs {
 		res.Outputs[v] = a.Output()
@@ -250,13 +266,29 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 	return res, nil
 }
 
+// ScoreDelta is one execution span's error-counter contribution for a
+// round; both the Algorithm 1 runner and the TDMA baseline accumulate
+// per-span deltas and fold them into a Result in span order.
+type ScoreDelta struct {
+	Membership int
+	Message    int
+}
+
+// AddScores folds per-span score deltas into the result, in span order.
+func (r *Result) AddScores(deltas []ScoreDelta) {
+	for i := range deltas {
+		r.MembershipErrors += deltas[i].Membership
+		r.MessageErrors += deltas[i].Message
+	}
+}
+
 // score compares node v's decoding against ground truth, updating error
 // counters. Ground truth is runner-level bookkeeping only — nothing here
 // feeds back into the simulation.
-func (r *BroadcastRunner) score(res *Result, v int, cw []int, msgs []congest.Message, decoded []int, inbox []congest.Message) {
+func (r *BroadcastRunner) score(d *ScoreDelta, v int, cw []int, msgs []congest.Message, decoded []int, inbox []congest.Message) {
 	var trueSet []int
 	var truth []congest.Message
-	for _, u := range r.g.Neighbors(v) {
+	for _, u := range r.g.Row(v) {
 		if cw[u] >= 0 {
 			trueSet = append(trueSet, cw[u])
 			truth = append(truth, padTo(msgs[u], r.cfg.Params.MsgBits))
@@ -270,11 +302,11 @@ func (r *BroadcastRunner) score(res *Result, v int, cw []int, msgs []congest.Mes
 	got = append(got, decoded...)
 	sort.Ints(got)
 	if !equalInts(trueSet, got) {
-		res.MembershipErrors++
+		d.Membership++
 	}
 	congest.SortMessages(truth)
 	if !equalMessages(truth, inbox) {
-		res.MessageErrors++
+		d.Message++
 	}
 }
 
@@ -302,15 +334,6 @@ func equalMessages(a, b []congest.Message) bool {
 	}
 	for i := range a {
 		if !bytes.Equal(a[i], b[i]) {
-			return false
-		}
-	}
-	return true
-}
-
-func allDone(algs []congest.BroadcastAlgorithm) bool {
-	for _, a := range algs {
-		if !a.Done() {
 			return false
 		}
 	}

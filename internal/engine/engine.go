@@ -1,0 +1,267 @@
+// Package engine is the shared round-execution substrate of every
+// simulator in the reproduction: the beeping network (internal/beep), the
+// native CONGEST engines (internal/congest), the TDMA baseline
+// (internal/baseline), and the Algorithm 1 runner (internal/core) all
+// drive their per-round node phases through one deterministic sharded
+// worker pool instead of ad-hoc serial loops or hand-rolled goroutine
+// striding.
+//
+// # Determinism contract
+//
+// A Pool never changes what is computed — only where. The vertex range
+// [0, n) is decomposed into spans whose boundaries are multiples of 64 and
+// depend only on n and the shard count, never on the worker count. Phase
+// callbacks must confine their writes to per-vertex slots (slice elements
+// indexed by v) or to bitset words covering their own span — which the
+// 64-alignment guarantees never straddle a span boundary — and must draw
+// randomness only from per-vertex streams (the rng package's split
+// scheme). Under that discipline, which all engines in this repository
+// follow, a run with Workers=k is bit-identical to the serial run for
+// every k: same outputs, same transcripts, same error values, same
+// summed counters. The equivalence tests in each engine package assert
+// exactly this.
+//
+// Reductions preserve determinism the same way: Sum adds per-span partial
+// sums in span order, and DoErr reports the error of the lowest-numbered
+// failing span (callbacks return their first error in vertex order), which
+// is the error the serial loop would have hit first.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one shard of the vertex range: vertices [Lo, Hi), with Index
+// giving its position in the decomposition (spans tile [0, n) in order).
+type Span struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Pool executes per-vertex phases over word-aligned spans with a fixed
+// number of workers. The zero value is a serial pool with a single span
+// (use NewPool for the load-balanced default sharding); Pools are
+// immutable (the span cache aside) and safe for concurrent use.
+type Pool struct {
+	workers int
+	shards  int
+	// spans caches the last decomposition: engines call Spans/NumShards
+	// several times per round for one fixed n, and the result is a pure
+	// function of (n, shards).
+	spans atomic.Pointer[spanCache]
+}
+
+type spanCache struct {
+	n     int
+	spans []Span
+}
+
+// NewPool returns a pool with the given worker and shard counts.
+// workers <= 1 selects serial execution; workers == AutoWorkers uses
+// runtime.GOMAXPROCS. shards <= 0 picks a default that load-balances the
+// configured workers (and is a pure function of the worker count, so a
+// given configuration always produces the same decomposition).
+func NewPool(workers, shards int) *Pool {
+	if workers == AutoWorkers {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	return &Pool{workers: workers, shards: shards}
+}
+
+// AutoWorkers selects runtime.GOMAXPROCS workers in NewPool and in the
+// engines' Workers knobs.
+const AutoWorkers = -1
+
+// Workers returns the configured worker count (>= 1).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Parallel reports whether the pool runs phases on multiple goroutines.
+func (p *Pool) Parallel() bool { return p.Workers() > 1 }
+
+// NumShards returns the number of spans Spans(n) produces for n vertices.
+// Use it to size per-span scratch indexed by Span.Index.
+func (p *Pool) NumShards(n int) int { return len(p.Spans(n)) }
+
+// Spans decomposes [0, n) into at most the configured shard count of
+// word-aligned spans: every boundary except possibly n itself is a
+// multiple of 64, so bitset writes for distinct spans touch distinct
+// words. The decomposition depends only on n and the shard count. The
+// returned slice is shared (and cached); callers must not modify it.
+func (p *Pool) Spans(n int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if p != nil {
+		if c := p.spans.Load(); c != nil && c.n == n {
+			return c.spans
+		}
+	}
+	shards := 1
+	if p != nil && p.shards > 0 {
+		shards = p.shards
+	}
+	words := (n + 63) / 64
+	wordsPerSpan := (words + shards - 1) / shards
+	if wordsPerSpan < 1 {
+		wordsPerSpan = 1
+	}
+	spans := make([]Span, 0, (words+wordsPerSpan-1)/wordsPerSpan)
+	for lo := 0; lo < n; lo += wordsPerSpan * 64 {
+		hi := lo + wordsPerSpan*64
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, Span{Index: len(spans), Lo: lo, Hi: hi})
+	}
+	if p != nil {
+		p.spans.Store(&spanCache{n: n, spans: spans})
+	}
+	return spans
+}
+
+// Do runs fn over every span of [0, n), in parallel when the pool has
+// multiple workers. It returns when all spans have completed.
+func (p *Pool) Do(n int, fn func(Span)) {
+	spans := p.Spans(n)
+	if len(spans) == 0 {
+		return
+	}
+	workers := p.Workers()
+	if workers == 1 || len(spans) == 1 {
+		for _, s := range spans {
+			fn(s)
+		}
+		return
+	}
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				fn(spans[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr runs fn over every span and returns the error of the
+// lowest-numbered span that failed (nil if none did). Callbacks should
+// return their first error in vertex order; the reported error is then
+// exactly the one a serial vertex loop would have returned. All spans are
+// executed even when one fails, so callbacks must keep their writes valid
+// (slot writes are; the caller discards results on error anyway).
+func (p *Pool) DoErr(n int, fn func(Span) error) error {
+	numShards := p.NumShards(n)
+	if numShards == 0 {
+		return nil
+	}
+	errs := make([]error, numShards)
+	p.Do(n, func(s Span) {
+		errs[s.Index] = fn(s)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sum runs fn over every span and returns the sum of the partial results,
+// accumulated in span order.
+func (p *Pool) Sum(n int, fn func(Span) int64) int64 {
+	numShards := p.NumShards(n)
+	if numShards == 0 {
+		return 0
+	}
+	parts := make([]int64, numShards)
+	p.Do(n, func(s Span) {
+		parts[s.Index] = fn(s)
+	})
+	var total int64
+	for _, v := range parts {
+		total += v
+	}
+	return total
+}
+
+// SumErr combines Sum and DoErr: fn returns a partial sum and an error per
+// span; SumErr returns the span-ordered total and the error of the
+// lowest-numbered failing span (a failing span's partial sum is still
+// included, matching a serial loop that counts until it hits the error —
+// callers discard the total on error anyway).
+func (p *Pool) SumErr(n int, fn func(Span) (int64, error)) (int64, error) {
+	numShards := p.NumShards(n)
+	if numShards == 0 {
+		return 0, nil
+	}
+	parts := make([]int64, numShards)
+	errs := make([]error, numShards)
+	p.Do(n, func(s Span) {
+		parts[s.Index], errs[s.Index] = fn(s)
+	})
+	var total int64
+	for _, v := range parts {
+		total += v
+	}
+	for _, err := range errs {
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// AllDone reports whether done(v) holds for every v in [0, n). It scans
+// serially with an early exit: on every round but the last the first
+// straggler answers in O(1), which beats fanning the scan out to
+// workers. done must be a pure read.
+func (p *Pool) AllDone(n int, done func(v int) bool) bool {
+	for v := 0; v < n; v++ {
+		if !done(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Loop is the round-execution skeleton shared by every engine: it runs
+// step(round) for round = 0, 1, ... until all n nodes are done or
+// maxRounds rounds elapse, checking done (AllDone's serial early-exit
+// scan) before each round. It returns the number of rounds executed,
+// whether every node finished, and the first step error (which aborts
+// the loop).
+func (p *Pool) Loop(n, maxRounds int, done func(v int) bool, step func(round int) error) (rounds int, allDone bool, err error) {
+	for rounds = 0; rounds < maxRounds; rounds++ {
+		if p.AllDone(n, done) {
+			return rounds, true, nil
+		}
+		if err := step(rounds); err != nil {
+			return rounds, false, err
+		}
+	}
+	return rounds, p.AllDone(n, done), nil
+}

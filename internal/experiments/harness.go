@@ -7,12 +7,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/wire"
@@ -24,6 +24,26 @@ type Config struct {
 	Quick bool
 	// Seed drives every random choice in the suite.
 	Seed uint64
+	// Workers parallelizes the simulators' per-round phases. The zero
+	// value deliberately means one worker per CPU — the harness has
+	// always run experiments at full machine width, and a zero-valued
+	// Config must keep doing so — which differs from the engine-level
+	// knobs where 0 means serial; poolWorkers performs the translation.
+	// 1 = serial, n = n workers. Results are bit-identical for every
+	// setting — the engines' sharded pool is deterministic — so this is
+	// purely a throughput knob.
+	Workers int
+	// Shards overrides the pool's shard count (0 = derived from Workers).
+	Shards int
+}
+
+// poolWorkers resolves Config.Workers (0 = one per CPU) to the engine
+// package's convention (where 0 means serial).
+func (c Config) poolWorkers() int {
+	if c.Workers == 0 {
+		return engine.AutoWorkers
+	}
+	return c.Workers
 }
 
 // Table is one experiment's result.
@@ -138,13 +158,14 @@ type gossipStats struct {
 	nodeRounds   int
 }
 
-func runGossip(g *graph.Graph, p core.Params, rounds int, channelSeed, algSeed uint64) (gossipStats, error) {
+func runGossip(cfg Config, g *graph.Graph, p core.Params, rounds int, channelSeed, algSeed uint64) (gossipStats, error) {
 	runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
 		Params:      p,
 		ChannelSeed: channelSeed,
 		AlgSeed:     algSeed,
 		NoisyOwn:    true,
-		Workers:     runtime.NumCPU(),
+		Workers:     cfg.poolWorkers(),
+		Shards:      cfg.Shards,
 	})
 	if err != nil {
 		return gossipStats{}, err

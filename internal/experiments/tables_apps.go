@@ -46,6 +46,8 @@ func T7LocalBroadcast(cfg Config) (*Table, error) {
 			ChannelSeed: cfg.Seed + 10 + uint64(i),
 			AlgSeed:     cfg.Seed + 11,
 			NoisyOwn:    true,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -97,6 +99,7 @@ func T8MatchingNative(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			eng.SetParallelism(cfg.poolWorkers(), cfg.Shards)
 			res, err := eng.Run(matching.New(n), matching.MaxRounds(n))
 			if err != nil {
 				return nil, err
@@ -160,6 +163,8 @@ func T9MatchingBeeps(cfg Config) (*Table, error) {
 			ChannelSeed: cfg.Seed + 70 + uint64(i),
 			AlgSeed:     cfg.Seed + 71,
 			NoisyOwn:    true,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -252,6 +257,8 @@ func transcriptDemo(cfg Config, g *graph.Graph, delta, b, inputs int) (int, erro
 			ChannelSeed: cfg.Seed + 600, // same channel seed: transcripts differ only via inputs
 			AlgSeed:     cfg.Seed + 601,
 			RecordBeeps: true,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return 0, err
@@ -288,7 +295,7 @@ func A1RepetitionAblation(cfg Config) (*Table, error) {
 	for _, r := range rs {
 		p := core.DefaultParams(n, g.MaxDegree(), 2*wire.BitsFor(n), eps)
 		p.R = r
-		st, err := runGossip(g, p, rounds, cfg.Seed+1, cfg.Seed+2)
+		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+1, cfg.Seed+2)
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +332,7 @@ func A2CodebookAblation(cfg Config) (*Table, error) {
 		p := base
 		p.Assignment = core.AssignRandom
 		p.M = m
-		st, err := runGossip(g, p, rounds, cfg.Seed+3, cfg.Seed+4)
+		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+3, cfg.Seed+4)
 		if err != nil {
 			return nil, err
 		}
@@ -333,7 +340,7 @@ func A2CodebookAblation(cfg Config) (*Table, error) {
 			"random", f("%d", m), f("%.4f", st.memErrRate), f("%.4f", st.msgErrRate),
 		})
 	}
-	st, err := runGossip(g, base, rounds, cfg.Seed+3, cfg.Seed+4)
+	st, err := runGossip(cfg, g, base, rounds, cfg.Seed+3, cfg.Seed+4)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +374,7 @@ func A3SoloDecodingAblation(cfg Config) (*Table, error) {
 			p.C = 3  // denser blocks make collisions frequent enough to matter
 			p.R = 21 // fixed redundancy across ε so only the decoder varies
 			p.DisableSoloFilter = naive
-			st, err := runGossip(g, p, rounds, cfg.Seed+5, cfg.Seed+6)
+			st, err := runGossip(cfg, g, p, rounds, cfg.Seed+5, cfg.Seed+6)
 			if err != nil {
 				return nil, err
 			}

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"runtime"
-
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -43,7 +41,8 @@ func A4EnergyAblation(cfg Config) (*Table, error) {
 			ChannelSeed: cfg.Seed + uint64(i),
 			AlgSeed:     cfg.Seed + 90,
 			NoisyOwn:    true,
-			Workers:     runtime.NumCPU(),
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -59,6 +58,8 @@ func A4EnergyAblation(cfg Config) (*Table, error) {
 			ChannelSeed: cfg.Seed + 1 + uint64(i),
 			AlgSeed:     cfg.Seed + 90,
 			NoisyOwn:    true,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err

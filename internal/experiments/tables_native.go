@@ -40,6 +40,8 @@ func T11NativeVsSimulated(cfg Config) (*Table, error) {
 			Params:      core.DefaultParams(n, g.MaxDegree(), mis.MsgBits(n), 0),
 			ChannelSeed: cfg.Seed + 41 + uint64(i),
 			AlgSeed:     cfg.Seed + 42,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err

@@ -30,7 +30,7 @@ func T3Phase1Membership(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		p := core.DefaultParams(g.N(), g.MaxDegree(), 2*wire.BitsFor(n), eps)
-		st, err := runGossip(g, p, rounds, cfg.Seed+50+uint64(i), cfg.Seed+90)
+		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+50+uint64(i), cfg.Seed+90)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +74,7 @@ func T4BroadcastOverhead(cfg Config) (*Table, error) {
 		}
 		msgBits := 2 * wire.BitsFor(nFixed)
 		p := core.DefaultParams(g.N(), g.MaxDegree(), msgBits, eps)
-		st, err := runGossip(g, p, rounds, cfg.Seed+20+uint64(i), cfg.Seed+99)
+		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+20+uint64(i), cfg.Seed+99)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +95,7 @@ func T4BroadcastOverhead(cfg Config) (*Table, error) {
 		}
 		msgBits := 2 * wire.BitsFor(n)
 		p := core.DefaultParams(g.N(), g.MaxDegree(), msgBits, eps)
-		st, err := runGossip(g, p, rounds, cfg.Seed+60+uint64(i), cfg.Seed+98)
+		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+60+uint64(i), cfg.Seed+98)
 		if err != nil {
 			return nil, err
 		}
@@ -179,6 +179,8 @@ func T5CongestOverhead(cfg Config) (*Table, error) {
 			ChannelSeed: cfg.Seed + 7 + uint64(i),
 			AlgSeed:     cfg.Seed + 8,
 			NoisyOwn:    true,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -249,7 +251,7 @@ func T6BaselineComparison(cfg Config) (*Table, error) {
 		g := inst.g
 		n := g.N()
 		msgBits := 2 * wire.BitsFor(n)
-		ours, err := runGossip(g, core.DefaultParams(n, g.MaxDegree(), msgBits, eps), rounds,
+		ours, err := runGossip(cfg, g, core.DefaultParams(n, g.MaxDegree(), msgBits, eps), rounds,
 			cfg.Seed+30+uint64(i), cfg.Seed+97)
 		if err != nil {
 			return nil, err
@@ -261,6 +263,8 @@ func T6BaselineComparison(cfg Config) (*Table, error) {
 			ChannelSeed: cfg.Seed + 31 + uint64(i),
 			AlgSeed:     cfg.Seed + 97,
 			NoisyOwn:    true,
+			Workers:     cfg.poolWorkers(),
+			Shards:      cfg.Shards,
 		})
 		if err != nil {
 			return nil, err

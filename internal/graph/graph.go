@@ -5,20 +5,49 @@
 // instance of Lemma 14 — together with the structural routines the
 // baselines need (graph squaring and distance-2 coloring for the
 // [7]/[4]-style TDMA simulation) and BFS/diameter utilities.
+//
+// # CSR layout
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single flat
+// []int32 neighbor array plus an n+1-entry offset table, so that vertex
+// v's sorted neighbor row is nbr[off[v]:off[v+1]]. Compared to the
+// per-vertex [][]int layout this removes one pointer indirection per row,
+// keeps all rows contiguous in memory, and halves the footprint — which
+// is what makes the simulation engines' per-round neighborhood scans
+// cache-friendly at production scale. Row gives zero-copy access to a row;
+// Neighbors returns a fresh []int copy for callers that prefer ints.
+//
+// The CSR rows also support word-parallel beep propagation:
+// NeighborhoodOr computes, in one pass, the OR over every beeping vertex's
+// row into a destination bitset — the hot path of one beeping round
+// (listeners hear 1 iff some neighbor beeped) — instead of each listener
+// scanning its neighbor list. NeighborhoodOrRange is the receiver-centric
+// form whose [lo,hi) slices the deterministic sharded worker pool of
+// internal/engine hands out; both forms compute the same bits.
+//
+// The int32 representation bounds graphs to about 2 billion directed
+// edges, far beyond what the simulators can step in any case.
 package graph
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
+	"slices"
 	"sort"
 
+	"repro/internal/bitstring"
 	"repro/internal/rng"
 )
 
-// Graph is an immutable simple undirected graph on vertices 0..n-1.
+// Graph is an immutable simple undirected graph on vertices 0..n-1, stored
+// in CSR (compressed sparse row) form.
 type Graph struct {
-	n   int
-	m   int
-	adj [][]int // sorted neighbor lists
+	n      int
+	m      int
+	maxDeg int
+	off    []int32 // len n+1; row v is nbr[off[v]:off[v+1]]
+	nbr    []int32 // concatenated sorted neighbor rows, len 2m
 }
 
 // FromEdges builds a graph with n vertices from an edge list. It rejects
@@ -27,7 +56,13 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
-	adj := make([][]int, n)
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d vertices exceed the CSR int32 capacity", n)
+	}
+	if len(edges) > math.MaxInt32/2 {
+		return nil, fmt.Errorf("graph: %d edges exceed the CSR int32 capacity", len(edges))
+	}
+	deg := make([]int32, n)
 	for _, e := range edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= n || v < 0 || v >= n {
@@ -36,18 +71,62 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 		if u == v {
 			return nil, fmt.Errorf("graph: self-loop at %d", u)
 		}
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		deg[u]++
+		deg[v]++
 	}
-	for v := range adj {
-		sort.Ints(adj[v])
-		for i := 1; i < len(adj[v]); i++ {
-			if adj[v][i] == adj[v][i-1] {
-				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, adj[v][i])
+	g := &Graph{
+		n:   n,
+		m:   len(edges),
+		off: make([]int32, n+1),
+		nbr: make([]int32, 2*len(edges)),
+	}
+	for v := 0; v < n; v++ {
+		g.off[v+1] = g.off[v] + deg[v]
+	}
+	fill := make([]int32, n)
+	copy(fill, g.off[:n])
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		g.nbr[fill[u]] = int32(v)
+		fill[u]++
+		g.nbr[fill[v]] = int32(u)
+		fill[v]++
+	}
+	for v := 0; v < n; v++ {
+		row := g.nbr[g.off[v]:g.off[v+1]]
+		slices.Sort(row)
+		for i := 1; i < len(row); i++ {
+			if row[i] == row[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, row[i])
 			}
 		}
+		if len(row) > g.maxDeg {
+			g.maxDeg = len(row)
+		}
 	}
-	return &Graph{n: n, m: len(edges), adj: adj}, nil
+	return g, nil
+}
+
+// fromRows builds a graph directly from sorted, deduplicated rows (the
+// internal fast path for derived graphs such as Square).
+func fromRows(n int, rows [][]int32, m int) *Graph {
+	g := &Graph{n: n, m: m, off: make([]int32, n+1)}
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	if total > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: %d directed edges exceed the CSR int32 capacity", total))
+	}
+	g.nbr = make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		g.nbr = append(g.nbr, rows[v]...)
+		g.off[v+1] = int32(len(g.nbr))
+		if len(rows[v]) > g.maxDeg {
+			g.maxDeg = len(rows[v])
+		}
+	}
+	return g
 }
 
 // MustFromEdges is FromEdges that panics on error, for tests and
@@ -67,37 +146,42 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
-// MaxDegree returns Δ, the maximum degree. It is 0 for edgeless graphs.
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
-			max = d
-		}
+// MaxDegree returns Δ, the maximum degree (cached at construction; the
+// simulators read it per node per run). It is 0 for edgeless graphs.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// Row returns v's sorted neighbor row as a zero-copy slice of the CSR
+// neighbor array. The slice aliases the graph and must not be modified.
+// This is the accessor the engines' hot loops use.
+func (g *Graph) Row(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
+
+// Neighbors returns the sorted neighbor list of v as a freshly allocated
+// []int. Setup and verification code may use it freely; per-round loops
+// should prefer Row, which does not allocate.
+func (g *Graph) Neighbors(v int) []int {
+	row := g.Row(v)
+	out := make([]int, len(row))
+	for i, u := range row {
+		out[i] = int(u)
 	}
-	return max
+	return out
 }
-
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
 
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	list := g.adj[u]
-	i := sort.SearchInts(list, v)
-	return i < len(list) && list[i] == v
+	_, found := slices.BinarySearch(g.Row(u), int32(v))
+	return found
 }
 
 // Edges returns all edges with u < v, in lexicographic order.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if u < v {
-				out = append(out, [2]int{u, v})
+		for _, v := range g.Row(u) {
+			if int32(u) < v {
+				out = append(out, [2]int{u, int(v)})
 			}
 		}
 	}
@@ -113,11 +197,13 @@ func (g *Graph) BFS(root int) (dist, parent []int) {
 		dist[i], parent[i] = -1, -1
 	}
 	dist[root] = 0
-	queue := []int{root}
+	queue := make([]int, 0, g.n)
+	queue = append(queue, root)
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, w := range g.Row(u) {
+			v := int(w)
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
 				parent[v] = u
@@ -158,35 +244,99 @@ func (g *Graph) Diameter() int {
 	return diam
 }
 
+// NeighborhoodOr ORs, over every vertex u whose bit is set in src, u's
+// neighbor row into dst: afterwards dst has bit v set iff some neighbor of
+// v is set in src (dst's prior bits are kept, so callers wanting exactly
+// the open neighborhood should pass a zeroed dst). This is one beeping
+// round's propagation — src is "who beeped", dst is "who hears" — done as
+// one pass over the CSR rows of the beeping vertices instead of a
+// per-listener neighbor scan.
+//
+// When src is dense the sender-centric pass would touch Θ(2m) entries
+// while most listeners are settled by their first few neighbors, so the
+// routine switches to the receiver-centric early-exit scan; both forms
+// compute identical bits. Panics if src or dst length differs from n.
+func (g *Graph) NeighborhoodOr(src, dst *bitstring.BitString) {
+	if src.Len() != g.n || dst.Len() != g.n {
+		panic(fmt.Sprintf("graph: NeighborhoodOr bitset lengths %d,%d for n=%d", src.Len(), dst.Len(), g.n))
+	}
+	if g.DenseBeepers(src) {
+		g.NeighborhoodOrRange(src, dst, 0, g.n)
+		return
+	}
+	dw := dst.Words()
+	for wi, w := range src.Words() {
+		for w != 0 {
+			u := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, v := range g.Row(u) {
+				dw[v>>6] |= 1 << (uint(v) & 63)
+			}
+		}
+	}
+}
+
+// DenseBeepers reports whether src is dense enough that receiver-centric
+// early-exit scans beat the sender-centric pass over the beepers' rows —
+// the heuristic NeighborhoodOr applies internally, exported so callers
+// staging their own parallel propagation (internal/beep) pick the same
+// side.
+func (g *Graph) DenseBeepers(src *bitstring.BitString) bool {
+	return 4*src.Ones() > g.n
+}
+
+// NeighborhoodOrRange is the receiver-centric form of NeighborhoodOr
+// restricted to listeners in [lo, hi): it sets dst's bit for each v in the
+// range with a src-set neighbor, touching no other bits of dst. Distinct
+// word-aligned ranges may therefore run concurrently on one dst (the
+// sharded execution of internal/engine); the union over a partition of
+// [0, n) equals a full NeighborhoodOr.
+func (g *Graph) NeighborhoodOrRange(src, dst *bitstring.BitString, lo, hi int) {
+	if src.Len() != g.n || dst.Len() != g.n {
+		panic(fmt.Sprintf("graph: NeighborhoodOrRange bitset lengths %d,%d for n=%d", src.Len(), dst.Len(), g.n))
+	}
+	sw := src.Words()
+	for v := lo; v < hi; v++ {
+		for _, u := range g.Row(v) {
+			if sw[u>>6]&(1<<(uint(u)&63)) != 0 {
+				dst.Set(v)
+				break
+			}
+		}
+	}
+}
+
 // Square returns G²: the graph on the same vertices where u,v are adjacent
 // iff their distance in g is 1 or 2. It is the structure the prior-work
 // baselines color to schedule conflict-free transmissions (§1.4).
+// It panics (fail-fast, via fromRows) if G² exceeds the CSR int32
+// capacity of about 2 billion directed edges.
 func (g *Graph) Square() *Graph {
-	adj := make([][]int, g.n)
+	rows := make([][]int32, g.n)
 	seen := make([]int, g.n)
 	for i := range seen {
 		seen[i] = -1
 	}
 	m := 0
 	for u := 0; u < g.n; u++ {
-		var list []int
-		add := func(w int) {
-			if w != u && seen[w] != u {
+		var list []int32
+		add := func(w int32) {
+			if int(w) != u && seen[w] != u {
 				seen[w] = u
 				list = append(list, w)
 			}
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.Row(u) {
 			add(v)
-			for _, w := range g.adj[v] {
+			for _, w := range g.Row(int(v)) {
 				add(w)
 			}
 		}
-		sort.Ints(list)
-		adj[u] = list
+		slices.Sort(list)
+		rows[u] = list
 		m += len(list)
 	}
-	return &Graph{n: g.n, m: m / 2, adj: adj}
+	return fromRows(g.n, rows, m/2)
 }
 
 // GreedyColoring colors the graph greedily in the given vertex order,
@@ -213,7 +363,7 @@ func (g *Graph) GreedyColoring(order []int) []int {
 		taken[i] = -1
 	}
 	for _, v := range order {
-		for _, u := range g.adj[v] {
+		for _, u := range g.Row(v) {
 			if colors[u] >= 0 {
 				taken[colors[u]] = v
 			}

@@ -1,9 +1,11 @@
 package graph
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitstring"
 	"repro/internal/rng"
 )
 
@@ -435,5 +437,157 @@ func TestProjectivePlaneIncidence(t *testing.T) {
 	}
 	if _, err := ProjectivePlaneIncidence(1); err == nil {
 		t.Error("order 1 accepted")
+	}
+}
+
+// --- CSR layout tests ---
+
+// edgeListRef is the naive [][]int adjacency reference the CSR layout is
+// checked against.
+type edgeListRef struct {
+	n   int
+	adj [][]int
+}
+
+func newEdgeListRef(n int, edges [][2]int) *edgeListRef {
+	r := &edgeListRef{n: n, adj: make([][]int, n)}
+	for _, e := range edges {
+		r.adj[e[0]] = append(r.adj[e[0]], e[1])
+		r.adj[e[1]] = append(r.adj[e[1]], e[0])
+	}
+	for v := range r.adj {
+		sort.Ints(r.adj[v])
+	}
+	return r
+}
+
+func (r *edgeListRef) hasEdge(u, v int) bool {
+	for _, w := range r.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// randomEdges draws a simple random edge set on n vertices.
+func randomEdges(n int, p float64, r *rng.Stream) [][2]int {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// TestPropertyCSRMatchesEdgeList: for random graphs, every accessor of the
+// CSR representation agrees with the naive edge-list adjacency.
+func TestPropertyCSRMatchesEdgeList(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(80)
+		edges := randomEdges(n, 0.1+0.3*r.Float64(), r)
+		g := MustFromEdges(n, edges)
+		ref := newEdgeListRef(n, edges)
+
+		if g.N() != n || g.M() != len(edges) {
+			t.Fatalf("trial %d: N/M = %d/%d, want %d/%d", trial, g.N(), g.M(), n, len(edges))
+		}
+		totalDeg := 0
+		for v := 0; v < n; v++ {
+			totalDeg += g.Degree(v)
+			if g.Degree(v) != len(ref.adj[v]) {
+				t.Fatalf("trial %d: Degree(%d) = %d, want %d", trial, v, g.Degree(v), len(ref.adj[v]))
+			}
+			nb := g.Neighbors(v)
+			row := g.Row(v)
+			if len(nb) != len(ref.adj[v]) || len(row) != len(ref.adj[v]) {
+				t.Fatalf("trial %d: row lengths differ at %d", trial, v)
+			}
+			for i := range nb {
+				if nb[i] != ref.adj[v][i] || int(row[i]) != ref.adj[v][i] {
+					t.Fatalf("trial %d: neighbors of %d = %v / %v, want %v", trial, v, nb, row, ref.adj[v])
+				}
+			}
+		}
+		if totalDeg != 2*g.M() {
+			t.Fatalf("trial %d: handshake violated: %d vs 2·%d", trial, totalDeg, g.M())
+		}
+		for probe := 0; probe < 100; probe++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if g.HasEdge(u, v) != ref.hasEdge(u, v) {
+				t.Fatalf("trial %d: HasEdge(%d,%d) = %v disagrees with reference", trial, u, v, g.HasEdge(u, v))
+			}
+		}
+		back := g.Edges()
+		if len(back) != len(edges) {
+			t.Fatalf("trial %d: Edges() has %d entries, want %d", trial, len(back), len(edges))
+		}
+		for _, e := range back {
+			if !ref.hasEdge(e[0], e[1]) || e[0] >= e[1] {
+				t.Fatalf("trial %d: bogus edge %v", trial, e)
+			}
+		}
+	}
+}
+
+// TestNeighborhoodOrMatchesNaive: the word-parallel propagation (both the
+// sender-centric and the receiver-centric ranged form) must equal the
+// per-listener neighbor scan for random graphs and random beep vectors of
+// every density (exercising the adaptive switch).
+func TestNeighborhoodOrMatchesNaive(t *testing.T) {
+	r := rng.New(4242)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(200)
+		g := MustFromEdges(n, randomEdges(n, 0.05+0.2*r.Float64(), r))
+		for _, density := range []float64{0, 0.02, 0.3, 0.9, 1} {
+			src := bitstring.New(n)
+			for v := 0; v < n; v++ {
+				if r.Bool(density) {
+					src.Set(v)
+				}
+			}
+			want := bitstring.New(n)
+			for v := 0; v < n; v++ {
+				for _, u := range g.Neighbors(v) {
+					if src.Get(u) {
+						want.Set(v)
+						break
+					}
+				}
+			}
+			got := bitstring.New(n)
+			g.NeighborhoodOr(src, got)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d density %v: NeighborhoodOr differs from naive scan", trial, density)
+			}
+			// Ranged form over an arbitrary word-aligned partition.
+			ranged := bitstring.New(n)
+			for lo := 0; lo < n; lo += 64 {
+				hi := lo + 64
+				if hi > n {
+					hi = n
+				}
+				g.NeighborhoodOrRange(src, ranged, lo, hi)
+			}
+			if !ranged.Equal(want) {
+				t.Fatalf("trial %d density %v: NeighborhoodOrRange differs from naive scan", trial, density)
+			}
+		}
+	}
+}
+
+// TestNeighborhoodOrPreservesDst: propagation ORs into dst, never clears.
+func TestNeighborhoodOrPreservesDst(t *testing.T) {
+	g := Path(5)
+	src := bitstring.New(5)
+	dst := bitstring.New(5)
+	dst.Set(4) // pre-existing bit, no beeping neighbors
+	g.NeighborhoodOr(src, dst)
+	if !dst.Get(4) || dst.Ones() != 1 {
+		t.Fatalf("dst = %v, want bit 4 only", dst)
 	}
 }
