@@ -3,44 +3,69 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only T4,T9] [-workers W] [-shards S]
+//	experiments [-quick] [-seed N] [-only T4,T9] [-workers W] [-shards S] [-json FILE]
 //
 // -workers parallelizes the simulators' per-round phases (0 = one worker
 // per CPU, 1 = serial); every table is bit-identical for every setting.
+// -json additionally emits each table as one JSONL line ("-" = stdout),
+// in the same framing the sweep result store uses.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run reduced-size experiments")
-		seed    = flag.Uint64("seed", 2023, "experiment seed")
-		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		workers = flag.Int("workers", 0, "simulation workers: 0 = one per CPU, 1 = serial")
-		shards  = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
+		quick    = flag.Bool("quick", false, "run reduced-size experiments")
+		seed     = flag.Uint64("seed", 2023, "experiment seed")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		workers  = flag.Int("workers", 0, "simulation workers: 0 = one per CPU, 1 = serial")
+		shards   = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
+		jsonPath = flag.String("json", "", "also emit tables as JSONL to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
-	if err := run(*quick, *seed, *only, *workers, *shards); err != nil {
+	if err := run(*quick, *seed, *only, *workers, *shards, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, seed uint64, only string, workers, shards int) error {
+// jsonTable is the machine-readable rendering of one experiment: the
+// table plus run metadata, one JSONL line per experiment.
+type jsonTable struct {
+	*experiments.Table
+	Seed     uint64 `json:"seed"`
+	Quick    bool   `json:"quick"`
+	ElapsedM int64  `json:"elapsed_ms"`
+}
+
+func run(quick bool, seed uint64, only string, workers, shards int, jsonPath string) error {
 	cfg := experiments.Config{Quick: quick, Seed: seed, Workers: workers, Shards: shards}
 	selected := make(map[string]bool)
 	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			selected[strings.ToUpper(id)] = true
 		}
+	}
+	var jsonOut io.Writer
+	if jsonPath == "-" {
+		jsonOut = os.Stdout
+	} else if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonOut = f
 	}
 	for _, e := range experiments.All() {
 		if len(selected) > 0 && !selected[e.ID] {
@@ -51,8 +76,15 @@ func run(quick bool, seed uint64, only string, workers, shards int) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(tbl.Render())
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		if jsonOut != nil {
+			rec := jsonTable{Table: tbl, Seed: seed, Quick: quick, ElapsedM: elapsed.Milliseconds()}
+			if err := sweep.EncodeJSONL(jsonOut, rec); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -114,6 +114,10 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 // NumColors returns the schedule length (color classes of G²).
 func (r *Runner) NumColors() int { return r.numColors }
 
+// Rho returns the effective per-bit repetition count (after defaulting),
+// so result records can report the baseline's full parameterization.
+func (r *Runner) Rho() int { return r.cfg.Rho }
+
 // RoundsPerSimRound returns the beep rounds per simulated round:
 // one slot of (1+MsgBits)·ρ rounds per color class (the leading bit is the
 // presence beacon distinguishing transmission from silence).

@@ -41,27 +41,32 @@ type RunnerConfig struct {
 	Shards int
 }
 
-// Result reports a simulated Broadcast CONGEST execution.
+// Result reports a simulated Broadcast CONGEST execution. The JSON tags
+// are the serialization hook internal/sweep's persistent records build
+// on (sweep.Counters embeds Result, so these tags name the stored
+// fields); Outputs (arbitrary per-node values) deliberately do not
+// serialize — workload-level conclusions must be distilled into
+// counters first.
 type Result struct {
 	// SimRounds is the number of Broadcast CONGEST rounds simulated.
-	SimRounds int
+	SimRounds int `json:"sim_rounds"`
 	// BeepRounds is the number of physical beep rounds consumed.
-	BeepRounds int
+	BeepRounds int `json:"beep_rounds"`
 	// AllDone reports whether every algorithm terminated in budget.
-	AllDone bool
+	AllDone bool `json:"all_done"`
 	// Outputs holds each node's Output().
-	Outputs []any
+	Outputs []any `json:"-"`
 	// Beeps is the total energy (number of beeps).
-	Beeps int64
+	Beeps int64 `json:"beeps"`
 	// MessageErrors counts (node, round) pairs where the delivered message
 	// multiset differed from the ground truth (what a native Broadcast
 	// CONGEST engine would have delivered). The paper's Theorem 11 bounds
 	// the probability of any such event by n^{-2} for its constants.
-	MessageErrors int
+	MessageErrors int `json:"message_errors"`
 	// MembershipErrors counts (node, round) pairs where the decoded
 	// codeword set R̃_v differed from the true neighborhood set R_v
 	// (Lemma 9's event).
-	MembershipErrors int
+	MembershipErrors int `json:"membership_errors"`
 }
 
 // BroadcastRunner simulates Broadcast CONGEST algorithms over a noisy

@@ -3,6 +3,11 @@
 // experiment is a function from a Config to a Table; cmd/experiments
 // renders them all and EXPERIMENTS.md records the measured results
 // against the paper's claims.
+//
+// The scenario-shaped tables (T3, T4, T6, A4) are thin views over the
+// internal/sweep subsystem: they declare sweep.Scenario specs and format
+// the resulting records. Ablations that need non-default core.Params
+// (A1–A3) drive the engines directly through runGossip.
 package experiments
 
 import (
@@ -10,12 +15,10 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/rng"
-	"repro/internal/wire"
+	"repro/internal/sweep"
 )
 
 // Config scales the experiment suite.
@@ -48,17 +51,17 @@ func (c Config) poolWorkers() int {
 
 // Table is one experiment's result.
 type Table struct {
-	// ID is the experiment identifier from DESIGN.md (T0…T10, F1, A1…A3).
-	ID string
+	// ID is the experiment identifier from DESIGN.md (T0…T11, F1, A1…A4).
+	ID string `json:"id"`
 	// Title is a one-line description.
-	Title string
+	Title string `json:"title"`
 	// Claim restates the paper's claim being tested.
-	Claim string
+	Claim string `json:"claim"`
 	// Columns and Rows hold the tabular results.
-	Columns []string
-	Rows    [][]string
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes holds free-form observations (fit slopes, renderings).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render formats the table as aligned text.
@@ -109,48 +112,24 @@ func All() []Experiment {
 
 // --- shared workload helpers ---
 
-// idGossip broadcasts the node ID every round for a fixed number of
-// rounds; it is the canonical "one Broadcast CONGEST round" workload.
-type idGossip struct {
-	env    congest.Env
-	rounds int
-	seen   int
-	done   bool
+// runSweep routes a table's scenario list through the sweep batch
+// scheduler against an in-memory store. Jobs = 1 with the Config's
+// worker knob preserves the harness's historical execution profile (one
+// scenario at a time, engine phases at machine width); by the
+// determinism contract the records would be bit-identical either way.
+func runSweep(cfg Config, scs []sweep.Scenario) ([]sweep.Record, error) {
+	recs, _, err := sweep.Run(scs, sweep.NewMemStore(), sweep.Options{
+		Jobs:    1,
+		Workers: cfg.poolWorkers(),
+		Shards:  cfg.Shards,
+	})
+	return recs, err
 }
 
-func (g *idGossip) Init(env congest.Env) {
-	g.env = env
-	if g.rounds == 0 {
-		g.rounds = 1
-	}
-}
-
-func (g *idGossip) Broadcast(round int) congest.Message {
-	var w wire.Writer
-	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
-	return w.PaddedBytes(g.env.MsgBits)
-}
-
-func (g *idGossip) Receive(round int, msgs []congest.Message) {
-	g.seen++
-	if g.seen >= g.rounds {
-		g.done = true
-	}
-}
-
-func (g *idGossip) Done() bool  { return g.done }
-func (g *idGossip) Output() any { return g.seen }
-
-func gossipAlgs(n, rounds int) []congest.BroadcastAlgorithm {
-	algs := make([]congest.BroadcastAlgorithm, n)
-	for v := range algs {
-		algs[v] = &idGossip{rounds: rounds}
-	}
-	return algs
-}
-
-// gossipRun executes the gossip workload over the Algorithm 1 runner and
-// reports per-round error rates.
+// gossipRun executes the gossip workload over the Algorithm 1 runner
+// with explicit (non-default) Params — the escape hatch for ablations
+// whose parameterization a sweep.Scenario cannot express — and reports
+// per-round error rates.
 type gossipStats struct {
 	beepPerRound int
 	msgErrRate   float64
@@ -170,7 +149,7 @@ func runGossip(cfg Config, g *graph.Graph, p core.Params, rounds int, channelSee
 	if err != nil {
 		return gossipStats{}, err
 	}
-	res, err := runner.Run(gossipAlgs(g.N(), rounds), rounds+2)
+	res, err := runner.Run(sweep.GossipAlgs(g.N(), rounds), rounds+2)
 	if err != nil {
 		return gossipStats{}, err
 	}
@@ -184,19 +163,10 @@ func runGossip(cfg Config, g *graph.Graph, p core.Params, rounds int, channelSee
 }
 
 // regularGraph builds a Δ-regular graph of n nodes (falling back to the
-// bounded-degree random model when nΔ is odd).
+// bounded-degree random model when nΔ is odd); the construction is
+// sweep's FamilyRegular, so tables and sweeps share one graph recipe.
 func regularGraph(n, delta int, seed uint64) (*graph.Graph, error) {
-	if (n*delta)%2 == 0 {
-		return graph.RandomRegular(n, delta, rng.New(seed))
-	}
-	return graph.RandomBoundedDegree(n, delta, 0.5, rng.New(seed)), nil
+	return sweep.Scenario{Family: sweep.FamilyRegular, N: n, Param: delta, GraphSeed: seed}.BuildGraph()
 }
 
 func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

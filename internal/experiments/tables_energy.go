@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/wire"
+	"repro/internal/sweep"
 )
 
 // A4EnergyAblation compares the energy cost (total beeps — the scarce
@@ -13,7 +10,8 @@ import (
 // complexity is the paper's metric; energy is the deployment-relevant
 // second axis this table adds: Algorithm 1 spends ≈W + weight(CD) beeps
 // per sender per round regardless of Δ, while TDMA senders beep only in
-// their own slot.
+// their own slot. A thin view over sweep records: one Algorithm-1 and
+// one TDMA scenario per PG(2,q) instance, energy read off the counters.
 func A4EnergyAblation(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "A4",
@@ -28,55 +26,32 @@ func A4EnergyAblation(cfg Config) (*Table, error) {
 		qs = []int{5}
 		rounds = 2
 	}
+	var scs []sweep.Scenario
 	for i, q := range qs {
-		g, err := graph.ProjectivePlaneIncidence(q)
-		if err != nil {
-			return nil, err
+		for _, eng := range []string{sweep.EngineAlg1, sweep.EngineTDMA} {
+			sc := sweep.Scenario{
+				Family: sweep.FamilyPG, Param: q, Epsilon: eps,
+				Engine: eng, Workload: sweep.WorkloadGossip, Rounds: rounds,
+				ChannelSeed: cfg.Seed + uint64(i),
+				AlgSeed:     cfg.Seed + 90,
+			}
+			if eng == sweep.EngineTDMA {
+				sc.ChannelSeed = cfg.Seed + 1 + uint64(i)
+			}
+			scs = append(scs, sc)
 		}
-		n := g.N()
-		msgBits := 2 * wire.BitsFor(n)
-
-		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
-			Params:      core.DefaultParams(n, g.MaxDegree(), msgBits, eps),
-			ChannelSeed: cfg.Seed + uint64(i),
-			AlgSeed:     cfg.Seed + 90,
-			NoisyOwn:    true,
-			Workers:     cfg.poolWorkers(),
-			Shards:      cfg.Shards,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ours, err := runner.Run(gossipAlgs(n, rounds), rounds+2)
-		if err != nil {
-			return nil, err
-		}
-
-		bl, err := baseline.NewRunner(g, baseline.Config{
-			MsgBits:     msgBits,
-			Epsilon:     eps,
-			ChannelSeed: cfg.Seed + 1 + uint64(i),
-			AlgSeed:     cfg.Seed + 90,
-			NoisyOwn:    true,
-			Workers:     cfg.poolWorkers(),
-			Shards:      cfg.Shards,
-		})
-		if err != nil {
-			return nil, err
-		}
-		tdma, err := bl.Run(gossipAlgs(n, rounds), rounds+2)
-		if err != nil {
-			return nil, err
-		}
-
-		perNode := func(beeps int64, simRounds int) float64 {
-			return float64(beeps) / float64(n*max(simRounds, 1))
-		}
+	}
+	recs, err := runSweep(cfg, scs)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range qs {
+		ours, tdma := recs[2*i], recs[2*i+1]
 		t.Rows = append(t.Rows, []string{
-			f("PG(2,%d)", q), f("%d", n), f("%d", g.MaxDegree()),
-			f("%.0f", perNode(ours.Beeps, ours.SimRounds)),
-			f("%.0f", perNode(tdma.Beeps, tdma.SimRounds)),
-			f("%.1fx", float64(tdma.BeepRounds)/float64(max(ours.BeepRounds, 1))),
+			f("PG(2,%d)", q), f("%d", ours.Graph.N), f("%d", ours.Graph.MaxDegree),
+			f("%.0f", ours.BeepsPerNodeRound()),
+			f("%.0f", tdma.BeepsPerNodeRound()),
+			f("%.1fx", float64(tdma.Counters.BeepRounds)/float64(max(ours.Counters.BeepRounds, 1))),
 		})
 	}
 	t.Notes = append(t.Notes,

@@ -3,16 +3,16 @@ package experiments
 import (
 	"math"
 
-	"repro/internal/baseline"
 	"repro/internal/congest"
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/wire"
 )
 
 // T3Phase1Membership measures Lemmas 8+9: the probability that a node's
-// decoded codeword set R̃_v differs from the true R_v, across noise rates.
+// decoded codeword set R̃_v differs from the true R_v, across noise
+// rates. A thin view over sweep records (one scenario per ε).
 func T3Phase1Membership(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "T3",
@@ -24,19 +24,25 @@ func T3Phase1Membership(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n, rounds = 24, 3
 	}
+	var scs []sweep.Scenario
 	for i, eps := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
-		g, err := regularGraph(n, 6, cfg.Seed+uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		p := core.DefaultParams(g.N(), g.MaxDegree(), 2*wire.BitsFor(n), eps)
-		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+50+uint64(i), cfg.Seed+90)
-		if err != nil {
-			return nil, err
-		}
+		scs = append(scs, sweep.Scenario{
+			Family: sweep.FamilyRegular, N: n, Param: 6, Epsilon: eps,
+			Engine: sweep.EngineAlg1, Workload: sweep.WorkloadGossip,
+			Rounds: rounds, MsgBits: 2 * wire.BitsFor(n),
+			GraphSeed:   cfg.Seed + uint64(i),
+			ChannelSeed: cfg.Seed + 50 + uint64(i),
+			AlgSeed:     cfg.Seed + 90,
+		})
+	}
+	recs, err := runSweep(cfg, scs)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
 		t.Rows = append(t.Rows, []string{
-			f("%d", n), f("%d", g.MaxDegree()), f("%.2f", eps),
-			f("%d", st.nodeRounds), f("%.4f", st.memErrRate), f("%.4f", st.msgErrRate),
+			f("%d", n), f("%d", rec.Graph.MaxDegree), f("%.2f", rec.Spec.Epsilon),
+			f("%d", rec.NodeRounds()), f("%.4f", rec.MemErrRate()), f("%.4f", rec.MsgErrRate()),
 		})
 	}
 	t.Notes = append(t.Notes, "noise does not asymptotically change the simulation (the paper's headline): error rates stay ≈0 across ε at Θ(Δ log n) phase lengths")
@@ -44,7 +50,9 @@ func T3Phase1Membership(cfg Config) (*Table, error) {
 }
 
 // T4BroadcastOverhead measures Theorem 11's O(Δ log n) overhead shape:
-// beep rounds per simulated Broadcast CONGEST round across Δ and n sweeps.
+// beep rounds per simulated Broadcast CONGEST round across Δ and n
+// sweeps. A thin view over sweep records: the two axis sweeps are one
+// scenario batch, and every number in the table is read off a Record.
 func T4BroadcastOverhead(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "T4",
@@ -61,51 +69,59 @@ func T4BroadcastOverhead(cfg Config) (*Table, error) {
 		ns = []int{32, 64}
 		rounds = 2
 	}
-
-	var dxs, dys []float64
 	nFixed := 64
 	if cfg.Quick {
 		nFixed = 32
 	}
-	for i, delta := range deltas {
-		g, err := regularGraph(nFixed, delta, cfg.Seed+uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		msgBits := 2 * wire.BitsFor(nFixed)
-		p := core.DefaultParams(g.N(), g.MaxDegree(), msgBits, eps)
-		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+20+uint64(i), cfg.Seed+99)
-		if err != nil {
-			return nil, err
-		}
-		logn := math.Log2(float64(nFixed))
-		t.Rows = append(t.Rows, []string{
-			f("%d", nFixed), f("%d", delta), f("%.2f", eps),
-			f("%d", st.beepPerRound),
-			f("%.1f", float64(st.beepPerRound)/(float64(delta+1)*logn)),
-			f("%.4f", st.msgErrRate),
+
+	var scs []sweep.Scenario
+	for i, delta := range deltas { // Δ sweep at fixed n
+		scs = append(scs, sweep.Scenario{
+			Family: sweep.FamilyRegular, N: nFixed, Param: delta, Epsilon: eps,
+			Engine: sweep.EngineAlg1, Workload: sweep.WorkloadGossip,
+			Rounds: rounds, MsgBits: 2 * wire.BitsFor(nFixed),
+			GraphSeed:   cfg.Seed + uint64(i),
+			ChannelSeed: cfg.Seed + 20 + uint64(i),
+			AlgSeed:     cfg.Seed + 99,
 		})
-		dxs = append(dxs, float64(delta+1))
-		dys = append(dys, float64(st.beepPerRound))
 	}
-	for i, n := range ns {
-		g, err := regularGraph(n, 8, cfg.Seed+40+uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		msgBits := 2 * wire.BitsFor(n)
-		p := core.DefaultParams(g.N(), g.MaxDegree(), msgBits, eps)
-		st, err := runGossip(cfg, g, p, rounds, cfg.Seed+60+uint64(i), cfg.Seed+98)
-		if err != nil {
-			return nil, err
+	for i, n := range ns { // n sweep at fixed Δ
+		scs = append(scs, sweep.Scenario{
+			Family: sweep.FamilyRegular, N: n, Param: 8, Epsilon: eps,
+			Engine: sweep.EngineAlg1, Workload: sweep.WorkloadGossip,
+			Rounds: rounds, MsgBits: 2 * wire.BitsFor(n),
+			GraphSeed:   cfg.Seed + 40 + uint64(i),
+			ChannelSeed: cfg.Seed + 60 + uint64(i),
+			AlgSeed:     cfg.Seed + 98,
+		})
+	}
+	recs, err := runSweep(cfg, scs)
+	if err != nil {
+		return nil, err
+	}
+
+	var dxs, dys []float64
+	for i, rec := range recs {
+		n := rec.Spec.N
+		perRound := rec.BeepsPerSimRound()
+		// The Δ-sweep rows label themselves with the requested Δ, the
+		// n-sweep rows with the realized one — exactly as before the
+		// sweep refactor.
+		delta := rec.Graph.MaxDegree
+		if i < len(deltas) {
+			delta = rec.Spec.Param
 		}
 		logn := math.Log2(float64(n))
 		t.Rows = append(t.Rows, []string{
-			f("%d", n), f("%d", g.MaxDegree()), f("%.2f", eps),
-			f("%d", st.beepPerRound),
-			f("%.1f", float64(st.beepPerRound)/(float64(g.MaxDegree()+1)*logn)),
-			f("%.4f", st.msgErrRate),
+			f("%d", n), f("%d", delta), f("%.2f", eps),
+			f("%d", perRound),
+			f("%.1f", float64(perRound)/(float64(rec.Graph.MaxDegree+1)*logn)),
+			f("%.4f", rec.MsgErrRate()),
 		})
+		if i < len(deltas) {
+			dxs = append(dxs, float64(rec.Spec.Param+1))
+			dys = append(dys, float64(perRound))
+		}
 	}
 	if slope, err := stats.LogLogSlope(dxs, dys); err == nil {
 		t.Notes = append(t.Notes, f("log-log slope of overhead vs (Δ+1) at fixed n: %.2f (theory: 1.0)", slope))
@@ -232,55 +248,54 @@ func T6BaselineComparison(cfg Config) (*Table, error) {
 		qs = []int{3, 5}
 		rounds = 2
 	}
+	// One Algorithm-1 + one TDMA scenario per instance: the PG(2,q)
+	// worst cases, then the tame random row. The instances share graph
+	// seeds across engines; the per-instance message width (2·⌈log₂n⌉,
+	// n derived for PG) is the sweep gossip default, left implicit.
 	type instance struct {
 		name string
-		g    *graph.Graph
+		spec sweep.Scenario // engine-independent part
 	}
 	var instances []instance
 	for _, q := range qs {
-		g, err := graph.ProjectivePlaneIncidence(q)
-		if err != nil {
-			return nil, err
-		}
-		instances = append(instances, instance{name: f("PG(2,%d)", q), g: g})
+		instances = append(instances, instance{
+			name: f("PG(2,%d)", q),
+			spec: sweep.Scenario{Family: sweep.FamilyPG, Param: q},
+		})
 	}
-	if rg, err := regularGraph(64, 8, cfg.Seed); err == nil {
-		instances = append(instances, instance{name: "random-8-regular", g: rg})
+	instances = append(instances, instance{
+		name: "random-8-regular",
+		spec: sweep.Scenario{Family: sweep.FamilyRegular, N: 64, Param: 8, GraphSeed: cfg.Seed},
+	})
+	var scs []sweep.Scenario
+	for i, inst := range instances {
+		for _, eng := range []string{sweep.EngineAlg1, sweep.EngineTDMA} {
+			sc := inst.spec
+			sc.Epsilon = eps
+			sc.Engine = eng
+			sc.Workload = sweep.WorkloadGossip
+			sc.Rounds = rounds
+			sc.ChannelSeed = cfg.Seed + 30 + uint64(i)
+			if eng == sweep.EngineTDMA {
+				sc.ChannelSeed = cfg.Seed + 31 + uint64(i)
+			}
+			sc.AlgSeed = cfg.Seed + 97
+			scs = append(scs, sc)
+		}
+	}
+	recs, err := runSweep(cfg, scs)
+	if err != nil {
+		return nil, err
 	}
 	for i, inst := range instances {
-		g := inst.g
-		n := g.N()
-		msgBits := 2 * wire.BitsFor(n)
-		ours, err := runGossip(cfg, g, core.DefaultParams(n, g.MaxDegree(), msgBits, eps), rounds,
-			cfg.Seed+30+uint64(i), cfg.Seed+97)
-		if err != nil {
-			return nil, err
-		}
-
-		bl, err := baseline.NewRunner(g, baseline.Config{
-			MsgBits:     msgBits,
-			Epsilon:     eps,
-			ChannelSeed: cfg.Seed + 31 + uint64(i),
-			AlgSeed:     cfg.Seed + 97,
-			NoisyOwn:    true,
-			Workers:     cfg.poolWorkers(),
-			Shards:      cfg.Shards,
-		})
-		if err != nil {
-			return nil, err
-		}
-		blRes, err := bl.Run(gossipAlgs(n, rounds), rounds+2)
-		if err != nil {
-			return nil, err
-		}
-		blPerRound := blRes.BeepRounds / max(blRes.SimRounds, 1)
+		ours, tdma := recs[2*i], recs[2*i+1]
 		t.Rows = append(t.Rows, []string{
-			inst.name, f("%d", n), f("%d", g.MaxDegree()),
-			f("%d", bl.NumColors()),
-			f("%d", ours.beepPerRound),
-			f("%d", blPerRound),
-			f("%.1fx", float64(blPerRound)/float64(ours.beepPerRound)),
-			f("%d", baseline.EstimatedSetupRounds(n, g.MaxDegree())),
+			inst.name, f("%d", ours.Graph.N), f("%d", ours.Graph.MaxDegree),
+			f("%d", tdma.Colors),
+			f("%d", ours.BeepsPerSimRound()),
+			f("%d", tdma.BeepsPerSimRound()),
+			f("%.1fx", float64(tdma.BeepsPerSimRound())/float64(ours.BeepsPerSimRound())),
+			f("%d", tdma.SetupRounds),
 		})
 	}
 	t.Notes = append(t.Notes,

@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"math"
+	"sort"
+)
+
+// Key identifies an aggregation cell: every Scenario axis except the
+// seeds and the replicate index, so records that differ only in
+// replicate land in the same cell.
+type Key struct {
+	Family   string  `json:"family"`
+	N        int     `json:"n,omitempty"`
+	Param    int     `json:"param,omitempty"`
+	Epsilon  float64 `json:"epsilon"`
+	Engine   string  `json:"engine"`
+	Workload string  `json:"workload"`
+	Rounds   int     `json:"rounds,omitempty"`
+	MsgBits  int     `json:"msg_bits,omitempty"`
+}
+
+// KeyOf projects a scenario onto its aggregation cell.
+func KeyOf(sc Scenario) Key {
+	return Key{
+		Family:   sc.Family,
+		N:        sc.N,
+		Param:    sc.Param,
+		Epsilon:  sc.Epsilon,
+		Engine:   sc.Engine,
+		Workload: sc.Workload,
+		Rounds:   sc.Rounds,
+		MsgBits:  sc.MsgBits,
+	}
+}
+
+// Dist summarizes one metric's distribution across a cell's replicates.
+type Dist struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+}
+
+// DistOf computes the summary of xs (Dist{} for empty input).
+func DistOf(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Dist{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   Percentile(sorted, 0.5),
+		P90:   Percentile(sorted, 0.9),
+	}
+}
+
+// Percentile returns the p-quantile (p ∈ [0,1]) of an ascending-sorted
+// slice, with linear interpolation between adjacent order statistics.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Group is one aggregation cell: the records sharing a Key and the
+// replicate distributions of the standard metrics.
+type Group struct {
+	Key     Key      `json:"key"`
+	Records []Record `json:"-"`
+	// BeepRounds and PerSimRound are the Theorem 11 axes; Beeps is the
+	// A4 energy axis; MsgErr/MemErr are the error-rate axes; WallMS is
+	// throughput bookkeeping (the one non-deterministic metric).
+	BeepRounds  Dist `json:"beep_rounds"`
+	PerSimRound Dist `json:"per_sim_round"`
+	Beeps       Dist `json:"beeps"`
+	MsgErr      Dist `json:"msg_err"`
+	MemErr      Dist `json:"mem_err"`
+	WallMS      Dist `json:"wall_ms"`
+}
+
+// Aggregate groups records by Key and summarizes each cell, ordered by
+// (Workload, Family, Engine, N, Param, Epsilon, Rounds, MsgBits) — a
+// deterministic presentation order independent of input order.
+func Aggregate(recs []Record) []Group {
+	cells := make(map[Key][]Record)
+	for _, r := range recs {
+		k := KeyOf(r.Spec)
+		cells[k] = append(cells[k], r)
+	}
+	keys := make([]Key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		switch {
+		case a.Workload != b.Workload:
+			return a.Workload < b.Workload
+		case a.Family != b.Family:
+			return a.Family < b.Family
+		case a.Engine != b.Engine:
+			return a.Engine < b.Engine
+		case a.N != b.N:
+			return a.N < b.N
+		case a.Param != b.Param:
+			return a.Param < b.Param
+		case a.Epsilon != b.Epsilon:
+			return a.Epsilon < b.Epsilon
+		case a.Rounds != b.Rounds:
+			return a.Rounds < b.Rounds
+		}
+		return a.MsgBits < b.MsgBits
+	})
+
+	groups := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		rs := cells[k]
+		// Replicate order inside a cell, for deterministic Records slices.
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Spec.Replicate < rs[j].Spec.Replicate })
+		g := Group{Key: k, Records: rs}
+		var beepRounds, perRound, beeps, msgErr, memErr, wall []float64
+		for _, r := range rs {
+			beepRounds = append(beepRounds, float64(r.Counters.BeepRounds))
+			perRound = append(perRound, float64(r.BeepsPerSimRound()))
+			beeps = append(beeps, float64(r.Counters.Beeps))
+			msgErr = append(msgErr, r.MsgErrRate())
+			memErr = append(memErr, r.MemErrRate())
+			wall = append(wall, float64(r.WallNanos)/1e6)
+		}
+		g.BeepRounds = DistOf(beepRounds)
+		g.PerSimRound = DistOf(perRound)
+		g.Beeps = DistOf(beeps)
+		g.MsgErr = DistOf(msgErr)
+		g.MemErr = DistOf(memErr)
+		g.WallMS = DistOf(wall)
+		groups = append(groups, g)
+	}
+	return groups
+}

@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Jobs bounds scenario-level concurrency (0 = one per CPU). The two
+	// parallelism levels compose without oversubscription: when Jobs
+	// leaves room for more than one concurrent scenario and Workers is 0
+	// (auto), each scenario's engine pool runs serial — the cores belong
+	// to the scenario level; with Jobs = 1 an auto Workers gives the
+	// single scenario the whole machine, matching cmd/experiments.
+	Jobs int
+	// Workers and Shards configure each scenario's per-round engine pool
+	// (ExecOptions). Workers 0 = auto as described above; any explicit
+	// value (1 = serial, engine.AutoWorkers = GOMAXPROCS) passes through.
+	// By the determinism contract, no setting changes any record.
+	Workers int
+	Shards  int
+	// Progress, when non-nil, receives one Event per scenario as it
+	// completes (cache hit or run), serialized — no locking needed.
+	Progress func(Event)
+}
+
+// Event reports one scenario's completion to Options.Progress.
+type Event struct {
+	// Index is the scenario's position in the input slice; Done and
+	// Total count completions so far.
+	Index, Done, Total int
+	// Cached reports a cache hit (no engine work).
+	Cached bool
+	// Record is the result (zero on error).
+	Record Record
+	// Err is the scenario's failure, if any.
+	Err error
+}
+
+// Stats summarizes a batch.
+type Stats struct {
+	// Total counts scenarios requested; Unique counts distinct spec
+	// hashes among them (duplicates are executed once).
+	Total, Unique int
+	// Cached counts scenarios served from the store with no engine work;
+	// Ran counts engine executions; Failed counts errors.
+	Cached, Ran, Failed int
+	// Wall is the batch's total wall time.
+	Wall time.Duration
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("total=%d cached=%d run=%d failed=%d wall=%s",
+		st.Total, st.Cached, st.Ran, st.Failed, st.Wall.Round(time.Millisecond))
+}
+
+// Run executes scenarios through the store: cache hits are served
+// without engine work, misses are executed (at most Options.Jobs at a
+// time) and persisted. The returned slice is indexed like the input —
+// records[i] is scenarios[i]'s record regardless of completion order, so
+// batch output is deterministic even under concurrency. On scenario
+// failures Run keeps going, returns every successful record, and reports
+// the failures joined into one error (failed slots are zero Records).
+func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, error) {
+	start := time.Now()
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(scenarios) {
+		jobs = max(len(scenarios), 1)
+	}
+	workers := opt.Workers
+	if workers == 0 {
+		if jobs > 1 {
+			workers = 1
+		} else {
+			workers = engine.AutoWorkers
+		}
+	}
+	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards}
+
+	// Duplicate specs inside one batch run once: the first index with a
+	// given hash owns execution, later ones copy its result.
+	owner := make(map[string]int, len(scenarios))
+	dups := make([][]int, len(scenarios))
+	var order []int
+	for i, sc := range scenarios {
+		h := sc.Hash()
+		if first, ok := owner[h]; ok {
+			dups[first] = append(dups[first], i)
+			continue
+		}
+		owner[h] = i
+		order = append(order, i)
+	}
+
+	records := make([]Record, len(scenarios))
+	errs := make([]error, len(scenarios))
+	cached := make([]bool, len(scenarios))
+
+	var mu sync.Mutex // serializes progress + stats
+	st := Stats{Total: len(scenarios), Unique: len(order)}
+	done := 0
+	report := func(i int, rec Record, wasCached bool, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		targets := append([]int{i}, dups[i]...)
+		for _, j := range targets {
+			records[j], cached[j], errs[j] = rec, wasCached, err
+			done++
+			switch {
+			case err != nil:
+				st.Failed++
+			case wasCached:
+				st.Cached++
+			case j == i:
+				st.Ran++
+			default:
+				st.Cached++ // in-batch duplicate: no engine work either
+			}
+			if opt.Progress != nil {
+				opt.Progress(Event{Index: j, Done: done, Total: len(scenarios), Cached: wasCached || j != i, Record: rec, Err: err})
+			}
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sc := scenarios[i]
+				if rec, ok := store.Get(sc.Hash()); ok {
+					report(i, rec, true, nil)
+					continue
+				}
+				rec, err := Execute(sc, execOpt)
+				if err == nil {
+					err = store.Put(rec)
+				}
+				if err != nil {
+					report(i, Record{}, false, fmt.Errorf("scenario %d (%s): %w", i, sc.Hash(), err))
+					continue
+				}
+				report(i, rec, false, nil)
+			}
+		}()
+	}
+	for _, i := range order {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	st.Wall = time.Since(start)
+	var failures []error
+	for _, i := range order {
+		if errs[i] != nil {
+			failures = append(failures, errs[i])
+		}
+	}
+	return records, st, errors.Join(failures...)
+}

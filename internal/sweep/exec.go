@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithms/mis"
+	"repro/internal/baseline"
+	"repro/internal/beepalgs"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// ExecOptions are the execution-only knobs: they parallelize a single
+// scenario's per-round engine phases and, by the determinism contract
+// (DESIGN.md §4), never change the Record (WallNanos aside). They are
+// deliberately outside the Scenario spec so the content hash covers
+// inputs only.
+type ExecOptions struct {
+	// Workers and Shards follow the engine convention: 0 or 1 = serial,
+	// engine.AutoWorkers = one per CPU.
+	Workers int
+	Shards  int
+}
+
+// Execute runs one scenario and returns its record. Everything in the
+// record except WallNanos is a deterministic function of the spec.
+func Execute(sc Scenario, opt ExecOptions) (Record, error) {
+	if err := sc.Validate(); err != nil {
+		return Record{}, err
+	}
+	g, err := sc.BuildGraph()
+	if err != nil {
+		return Record{}, fmt.Errorf("sweep: %s: build graph: %w", sc.Hash(), err)
+	}
+	rec := Record{
+		Hash:  sc.Hash(),
+		Spec:  sc,
+		Graph: GraphInfo{N: g.N(), MaxDegree: g.MaxDegree(), Edges: g.M()},
+	}
+
+	// Resolve workload: algorithms, bandwidth, and round budget.
+	var algs []congest.BroadcastAlgorithm
+	msgBits, budget := sc.MsgBits, 0
+	switch sc.Workload {
+	case WorkloadGossip:
+		if msgBits == 0 {
+			msgBits = 2 * wire.BitsFor(g.N())
+		}
+		budget = sc.Rounds + 2
+		algs = GossipAlgs(g.N(), sc.Rounds)
+	case WorkloadMIS:
+		if msgBits == 0 {
+			msgBits = mis.MsgBits(g.N())
+		}
+		budget = mis.MaxRounds(g.N())
+		if sc.Engine != EngineBeep {
+			algs = mis.New(g.N())
+		}
+	default:
+		return Record{}, fmt.Errorf("sweep: unknown workload %q", sc.Workload)
+	}
+
+	start := time.Now()
+	switch sc.Engine {
+	case EngineAlg1:
+		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+			Params:      core.DefaultParams(g.N(), g.MaxDegree(), msgBits, sc.Epsilon),
+			ChannelSeed: sc.ChannelSeed,
+			AlgSeed:     sc.AlgSeed,
+			NoisyOwn:    true,
+			Workers:     opt.Workers,
+			Shards:      opt.Shards,
+		})
+		if err != nil {
+			return Record{}, err
+		}
+		res, err := runner.Run(algs, budget)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Counters = countersFromCore(res)
+		verifyMIS(sc, g, res.Outputs, &rec.Counters)
+
+	case EngineTDMA:
+		bl, err := baseline.NewRunner(g, baseline.Config{
+			MsgBits:     msgBits,
+			Epsilon:     sc.Epsilon,
+			ChannelSeed: sc.ChannelSeed,
+			AlgSeed:     sc.AlgSeed,
+			NoisyOwn:    true,
+			Workers:     opt.Workers,
+			Shards:      opt.Shards,
+		})
+		if err != nil {
+			return Record{}, err
+		}
+		res, err := bl.Run(algs, budget)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Counters = countersFromCore(res)
+		verifyMIS(sc, g, res.Outputs, &rec.Counters)
+		rec.Colors = bl.NumColors()
+		rec.Rho = bl.Rho()
+		rec.SetupRounds = baseline.EstimatedSetupRounds(g.N(), g.MaxDegree())
+
+	case EngineCongest:
+		eng, err := congest.NewBroadcastEngine(g, msgBits, sc.AlgSeed)
+		if err != nil {
+			return Record{}, err
+		}
+		eng.SetParallelism(opt.Workers, opt.Shards)
+		res, err := eng.Run(algs, budget)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Counters = countersFromCongest(res)
+		verifyMIS(sc, g, res.Outputs, &rec.Counters)
+
+	case EngineBeep:
+		// Native beeping MIS; the channel is noiseless and AlgSeed drives
+		// the whole run (there is no separate channel stream).
+		set, rounds, err := beepalgs.RunMIS(g, sc.AlgSeed)
+		if err != nil {
+			return Record{}, err
+		}
+		ok := mis.Verify(g, set) == nil
+		rec.Counters = Counters{Result: core.Result{BeepRounds: rounds, AllDone: true}, OutputOK: &ok}
+
+	default:
+		return Record{}, fmt.Errorf("sweep: unknown engine %q", sc.Engine)
+	}
+	rec.WallNanos = time.Since(start).Nanoseconds()
+	return rec, nil
+}
+
+// verifyMIS distills per-node outputs into Counters.OutputOK for the MIS
+// workload (no-op for workloads without an output validity notion).
+func verifyMIS(sc Scenario, g *graph.Graph, outputs []any, c *Counters) {
+	if sc.Workload != WorkloadMIS {
+		return
+	}
+	set := make([]bool, len(outputs))
+	for v, o := range outputs {
+		set[v] = o.(bool)
+	}
+	ok := c.AllDone && mis.Verify(g, set) == nil
+	c.OutputOK = &ok
+}
+
+// gossip broadcasts the node ID every round for a fixed number of
+// rounds; it is the canonical "one Broadcast CONGEST round" workload
+// (formerly internal/experiments' idGossip).
+type gossip struct {
+	env    congest.Env
+	rounds int
+	seen   int
+	done   bool
+}
+
+func (g *gossip) Init(env congest.Env) {
+	g.env = env
+	if g.rounds == 0 {
+		g.rounds = 1
+	}
+}
+
+func (g *gossip) Broadcast(round int) congest.Message {
+	var w wire.Writer
+	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
+	return w.PaddedBytes(g.env.MsgBits)
+}
+
+func (g *gossip) Receive(round int, msgs []congest.Message) {
+	g.seen++
+	if g.seen >= g.rounds {
+		g.done = true
+	}
+}
+
+func (g *gossip) Done() bool  { return g.done }
+func (g *gossip) Output() any { return g.seen }
+
+// GossipAlgs returns the per-node gossip workload. Exported so
+// experiment ablations that need non-default core.Params (outside the
+// Scenario vocabulary) can run the same workload the sweep runs.
+func GossipAlgs(n, rounds int) []congest.BroadcastAlgorithm {
+	algs := make([]congest.BroadcastAlgorithm, n)
+	for v := range algs {
+		algs[v] = &gossip{rounds: rounds}
+	}
+	return algs
+}

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Grid is a declarative scenario family: the cross product of its axes.
+// Expand enumerates it into concrete Scenario specs in a deterministic
+// order, deriving every seed from BaseSeed and the scenario's own axis
+// values — never from its position in the enumeration — so adding an
+// axis value to a grid leaves every pre-existing scenario's spec (and
+// therefore its content hash, and therefore its cache entry) unchanged.
+type Grid struct {
+	// Families, Ns, Params, Epsilons, Engines, Workloads are the axes;
+	// empty axes default to {FamilyRegular}, {64}, {4}, {0.05},
+	// {EngineAlg1}, {WorkloadGossip} respectively. For families that
+	// derive N from Param (pg, grid, hypercube) the Ns axis is ignored.
+	Families  []string
+	Ns        []int
+	Params    []int
+	Epsilons  []float64
+	Engines   []string
+	Workloads []string
+	// Rounds is the gossip round count (default 3); MsgBits overrides
+	// the workload's bandwidth default when nonzero.
+	Rounds  int
+	MsgBits int
+	// Replicates repeats every axis point with distinct seeds (default 1).
+	Replicates int
+	// BaseSeed roots every derived seed.
+	BaseSeed uint64
+}
+
+// Seed-derivation domains: graph seeds are shared across engines,
+// workloads, and noise rates (comparisons and ε sweeps run on the same
+// topology), algorithm seeds are shared across engines and noise rates
+// (the same algorithm randomness under every engine, as the
+// native-vs-simulated tables require), and channel seeds are private to
+// the full axis point — only the channel sees ε.
+const (
+	seedDomGraph   = 0x677261 // "gra"
+	seedDomChannel = 0x636863 // "chc"
+	seedDomAlg     = 0x616c67 // "alg"
+)
+
+// fold hashes a short string into a seed-mixing key (FNV-1a).
+func fold(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Expand enumerates the grid. Axis order (outer to inner): workload,
+// family, engine, n, param, epsilon, replicate. Engine/workload pairs
+// the engine does not support (Supports) are skipped. Expand fails if
+// any produced spec is invalid or the grid expands to nothing.
+func (g Grid) Expand() ([]Scenario, error) {
+	families := defaulted(g.Families, FamilyRegular)
+	ns := defaultedInts(g.Ns, 64)
+	params := defaultedInts(g.Params, 4)
+	epsilons := g.Epsilons
+	if len(epsilons) == 0 {
+		epsilons = []float64{0.05}
+	}
+	engines := defaulted(g.Engines, EngineAlg1)
+	workloads := defaulted(g.Workloads, WorkloadGossip)
+	rounds := g.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	replicates := g.Replicates
+	if replicates == 0 {
+		replicates = 1
+	}
+
+	var out []Scenario
+	for _, wl := range workloads {
+		wlRounds := rounds
+		if wl == WorkloadMIS {
+			wlRounds = 0 // MIS sizes its own budget (Scenario contract)
+		}
+		for _, fam := range families {
+			famNs := ns
+			if derivedN(fam) {
+				famNs = []int{0}
+			}
+			for _, eng := range engines {
+				if !Supports(eng, wl) {
+					continue
+				}
+				for _, n := range famNs {
+					for _, param := range params {
+						for _, eps := range epsilons {
+							// Native engines have no beeping channel to
+							// perturb: they ignore ε and the channel seed,
+							// so normalize both to zero. Because only the
+							// channel seed mixes ε in, grid points that
+							// differ only in ε then expand to identical
+							// specs (one hash), and the scheduler's
+							// in-batch dedup runs the engine once instead
+							// of attributing noise rates to a noiseless
+							// execution.
+							native := eng == EngineCongest || eng == EngineBeep
+							if native {
+								eps = 0
+							}
+							for rep := 0; rep < replicates; rep++ {
+								point := []uint64{g.BaseSeed, fold(fam), uint64(n), uint64(param), uint64(rep)}
+								sc := Scenario{
+									Family:      fam,
+									N:           n,
+									Param:       param,
+									Epsilon:     eps,
+									Engine:      eng,
+									Workload:    wl,
+									Rounds:      wlRounds,
+									MsgBits:     g.MsgBits,
+									Replicate:   rep,
+									GraphSeed:   rng.Mix(append([]uint64{seedDomGraph}, point...)...),
+									ChannelSeed: rng.Mix(append([]uint64{seedDomChannel, fold(eng), fold(wl), math.Float64bits(eps)}, point...)...),
+									AlgSeed:     rng.Mix(append([]uint64{seedDomAlg, fold(wl)}, point...)...),
+								}
+								if native {
+									sc.ChannelSeed = 0
+								}
+								if err := sc.Validate(); err != nil {
+									return nil, fmt.Errorf("sweep: grid point %+v: %w", sc, err)
+								}
+								out = append(out, sc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: grid expands to no supported scenarios")
+	}
+	return out, nil
+}
+
+func defaulted(xs []string, def string) []string {
+	if len(xs) == 0 {
+		return []string{def}
+	}
+	return xs
+}
+
+func defaultedInts(xs []int, def int) []int {
+	if len(xs) == 0 {
+		return []int{def}
+	}
+	return xs
+}

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the content-addressed result store: one JSONL line per
+// scenario record, indexed in memory by spec hash. A Store opened on an
+// existing file serves its records as cache hits, which is what makes an
+// interrupted or re-run batch resume for free — the scheduler asks the
+// store before running anything.
+//
+// Appends go straight to disk (line-buffered through the OS), so a
+// batch killed mid-run loses at most the record being written; Open
+// tolerates a truncated final line for exactly that reason.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	recs    map[string]Record
+	order   []string
+	f       *os.File
+	dropped int
+}
+
+// NewMemStore returns an in-memory store (no persistence): the degenerate
+// cache the experiment tables use when routing through the scheduler.
+func NewMemStore() *Store {
+	return &Store{recs: make(map[string]Record)}
+}
+
+// Open loads (creating if absent) the JSONL store at path. Lines that do
+// not parse, or whose stored hash does not match their spec, are dropped
+// from the index (counted by Dropped) — except that a final unparseable
+// line is expected after an interrupt and is silently overwritten-around
+// by subsequent appends.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, recs: make(map[string]Record)}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := DecodeRecord(line)
+		if err != nil {
+			s.dropped++
+			continue
+		}
+		s.add(rec)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read store %s: %w", path, err)
+	}
+	// Appends must start on a fresh line even if the file ends in a torn
+	// record from an interrupted run, so repair once here: position at
+	// end and terminate any unterminated final line.
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if off > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, off-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: read store %s: %w", path, err)
+		}
+		if buf[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sweep: repair store %s: %w", path, err)
+			}
+		}
+	}
+	s.f = f
+	return s, nil
+}
+
+func (s *Store) add(rec Record) {
+	if _, ok := s.recs[rec.Hash]; !ok {
+		s.order = append(s.order, rec.Hash)
+	}
+	s.recs[rec.Hash] = rec
+}
+
+// Get returns the cached record for a spec hash.
+func (s *Store) Get(hash string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[hash]
+	return rec, ok
+}
+
+// Put indexes rec and, for a disk-backed store, appends its JSONL line
+// (Open repaired any torn final line, so appends are plain writes).
+func (s *Store) Put(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.add(rec)
+	if s.f == nil {
+		return nil
+	}
+	if err := EncodeJSONL(s.f, rec); err != nil {
+		return fmt.Errorf("sweep: store append: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Dropped returns how many persisted lines failed validation on Open.
+func (s *Store) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Records returns the indexed records in first-seen order.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, h := range s.order {
+		out = append(out, s.recs[h])
+	}
+	return out
+}
+
+// Close releases the backing file (no-op for memory stores).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

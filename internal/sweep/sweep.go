@@ -1,0 +1,208 @@
+// Package sweep is the batch scenario-orchestration layer between the
+// engines and the experiment tables: it enumerates families of scenarios
+// (graph family × size × degree × noise × engine × workload × replicate),
+// schedules them concurrently, persists every result as one JSONL record
+// keyed by a content hash of the scenario spec, and aggregates records
+// across grid axes.
+//
+// The paper's claims are statements over scenario families — Theorem 11's
+// overhead across (n, Δ, ε), the §1.3 gap versus the TDMA baseline across
+// topologies, the §7 native-vs-simulated comparison — so the unit of work
+// here is the declarative Scenario spec, not a prebuilt graph or engine.
+// Everything a run needs (including every seed) lives in the spec; two
+// runs of the same spec are bit-identical, which is what makes the
+// content-addressed store (store.go) a cache: re-running an overlapping
+// grid skips every scenario whose hash is already on disk, and an
+// interrupted batch resumes for free.
+//
+// The layers, bottom up: Scenario (this file) — the spec and its hash;
+// Execute (exec.go) — one spec to one Record; Store (store.go) — the
+// JSONL result store; Run (batch.go) — the concurrent batch scheduler;
+// Grid (grid.go) — declarative axis expansion; Aggregate (agg.go) —
+// group-by with replicate statistics. internal/experiments routes its
+// T4/T6/A4 tables through this package.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Graph families a Scenario can name. Param is the family parameter:
+// Δ for FamilyRegular/FamilyBounded, q for FamilyPG, the side length for
+// FamilyGrid, the dimension for FamilyHypercube, and Δ for FamilyHard
+// (the K_{Δ,Δ}-plus-isolated-vertices Lemma 14 instance).
+const (
+	FamilyRegular   = "regular"   // random Δ-regular (bounded-degree fallback when nΔ is odd)
+	FamilyBounded   = "bounded"   // random bounded-degree G(n,p=0.5)
+	FamilyPG        = "pg"        // projective-plane incidence PG(2,q); N is derived
+	FamilyGrid      = "grid"      // Param×Param grid; N is derived
+	FamilyHypercube = "hypercube" // Param-dimensional hypercube; N is derived
+	FamilyHard      = "hard"      // Lemma 14 hard instance on N nodes
+	FamilyComplete  = "complete"  // K_N
+)
+
+// Engines a Scenario can run on.
+const (
+	EngineAlg1    = "alg1"    // the paper's Algorithm 1 simulation (internal/core)
+	EngineTDMA    = "tdma"    // prior-work G²-coloring baseline (internal/baseline)
+	EngineCongest = "congest" // native Broadcast CONGEST (internal/congest), no beeps
+	EngineBeep    = "beep"    // native beeping algorithm (internal/beepalgs)
+)
+
+// Workloads a Scenario can execute.
+const (
+	WorkloadGossip = "gossip" // ID broadcast every round — the canonical one-round probe
+	WorkloadMIS    = "mis"    // maximal independent set (Luby over CONGEST, Afek et al. natively)
+)
+
+// Scenario is one fully-specified run: the declarative unit the sweep
+// subsystem enumerates, hashes, executes, and stores. Every input —
+// including all three seeds — is part of the spec, so the spec hash is a
+// complete identity for the result and cached records never go stale.
+type Scenario struct {
+	// Family selects the graph family (Family* constants).
+	Family string `json:"family"`
+	// N is the node count; ignored (and normalized to 0 by Validate's
+	// contract) for families that derive it from Param.
+	N int `json:"n,omitempty"`
+	// Param is the family parameter (see the Family* comments).
+	Param int `json:"param,omitempty"`
+	// Epsilon is the beeping-channel noise rate. The native engines
+	// (congest, beep) have no beeping channel and ignore it — keep it 0
+	// there (Grid.Expand normalizes this) so equal work shares one hash.
+	Epsilon float64 `json:"epsilon"`
+	// Engine selects the execution engine (Engine* constants).
+	Engine string `json:"engine"`
+	// Workload selects the per-node algorithm (Workload* constants).
+	Workload string `json:"workload"`
+	// Rounds is the simulated-round count for WorkloadGossip (budget is
+	// Rounds+2); WorkloadMIS sizes its own budget and requires Rounds 0.
+	Rounds int `json:"rounds,omitempty"`
+	// MsgBits is the CONGEST bandwidth; 0 selects the workload default
+	// (2·⌈log₂n⌉ for gossip, the MIS encoding width for mis).
+	MsgBits int `json:"msg_bits,omitempty"`
+	// Replicate tags seed replicates expanded from a Grid; informational
+	// (the seeds below already differ per replicate) but part of the hash.
+	Replicate int `json:"replicate,omitempty"`
+	// GraphSeed drives the graph generator; ChannelSeed the channel noise
+	// (ignored, like Epsilon, by the native engines — keep it 0 there);
+	// AlgSeed the algorithms' private randomness (and the native beeping
+	// run, which has no separate channel stream).
+	GraphSeed   uint64 `json:"graph_seed"`
+	ChannelSeed uint64 `json:"channel_seed"`
+	AlgSeed     uint64 `json:"alg_seed"`
+}
+
+// derivedN reports whether the family derives the node count from Param.
+func derivedN(family string) bool {
+	switch family {
+	case FamilyPG, FamilyGrid, FamilyHypercube:
+		return true
+	}
+	return false
+}
+
+// Supports reports whether the engine can execute the workload: the
+// native beeping engine only runs natively-beeping workloads (MIS), and
+// every CONGEST-level engine runs every CONGEST-level workload.
+func Supports(engine, workload string) bool {
+	switch engine {
+	case EngineBeep:
+		return workload == WorkloadMIS
+	case EngineAlg1, EngineTDMA, EngineCongest:
+		return workload == WorkloadGossip || workload == WorkloadMIS
+	}
+	return false
+}
+
+// Validate checks the spec is executable.
+func (sc Scenario) Validate() error {
+	switch sc.Family {
+	case FamilyRegular, FamilyBounded, FamilyHard:
+		if sc.N < 2 || sc.Param < 1 {
+			return fmt.Errorf("sweep: family %q needs N ≥ 2 and Param ≥ 1, got N=%d Param=%d", sc.Family, sc.N, sc.Param)
+		}
+	case FamilyComplete:
+		if sc.N < 2 {
+			return fmt.Errorf("sweep: family %q needs N ≥ 2, got %d", sc.Family, sc.N)
+		}
+	case FamilyPG, FamilyGrid, FamilyHypercube:
+		if sc.Param < 1 {
+			return fmt.Errorf("sweep: family %q needs Param ≥ 1, got %d", sc.Family, sc.Param)
+		}
+		if sc.N != 0 {
+			return fmt.Errorf("sweep: family %q derives N from Param; set N = 0, got %d", sc.Family, sc.N)
+		}
+	default:
+		return fmt.Errorf("sweep: unknown family %q", sc.Family)
+	}
+	if !Supports(sc.Engine, sc.Workload) {
+		return fmt.Errorf("sweep: engine %q does not support workload %q", sc.Engine, sc.Workload)
+	}
+	switch sc.Workload {
+	case WorkloadGossip:
+		if sc.Rounds < 1 {
+			return fmt.Errorf("sweep: workload gossip needs Rounds ≥ 1, got %d", sc.Rounds)
+		}
+	case WorkloadMIS:
+		if sc.Rounds != 0 {
+			return fmt.Errorf("sweep: workload mis sizes its own budget; set Rounds = 0, got %d", sc.Rounds)
+		}
+	}
+	if sc.Epsilon < 0 || sc.Epsilon >= 0.5 {
+		return fmt.Errorf("sweep: ε = %v outside [0, 0.5)", sc.Epsilon)
+	}
+	if sc.MsgBits < 0 {
+		return fmt.Errorf("sweep: MsgBits = %d", sc.MsgBits)
+	}
+	return nil
+}
+
+// Hash returns the scenario's content address: the first 128 bits (32
+// hex characters) of the SHA-256 of the canonical JSON encoding of the
+// spec (struct field order, shortest float representation — both
+// deterministic in encoding/json). Any single-field change produces a
+// different hash; equal specs always hash equal.
+func (sc Scenario) Hash() string {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		// Scenario contains only scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("sweep: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// BuildGraph constructs the scenario's graph from Family, N, Param, and
+// GraphSeed alone.
+func (sc Scenario) BuildGraph() (*graph.Graph, error) {
+	switch sc.Family {
+	case FamilyRegular:
+		// Δ-regular when realizable, bounded-degree otherwise — the same
+		// fallback the experiment harness has always used, so refactored
+		// tables reproduce their pre-sweep graphs exactly.
+		if (sc.N*sc.Param)%2 == 0 {
+			return graph.RandomRegular(sc.N, sc.Param, rng.New(sc.GraphSeed))
+		}
+		return graph.RandomBoundedDegree(sc.N, sc.Param, 0.5, rng.New(sc.GraphSeed)), nil
+	case FamilyBounded:
+		return graph.RandomBoundedDegree(sc.N, sc.Param, 0.5, rng.New(sc.GraphSeed)), nil
+	case FamilyPG:
+		return graph.ProjectivePlaneIncidence(sc.Param)
+	case FamilyGrid:
+		return graph.Grid(sc.Param, sc.Param), nil
+	case FamilyHypercube:
+		return graph.Hypercube(sc.Param), nil
+	case FamilyHard:
+		return graph.HardInstance(sc.N, sc.Param)
+	case FamilyComplete:
+		return graph.Complete(sc.N), nil
+	}
+	return nil, fmt.Errorf("sweep: unknown family %q", sc.Family)
+}
