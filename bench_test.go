@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -136,12 +137,12 @@ func BenchmarkT3Phase1(b *testing.B) { benchGossipRound(b, 64, 6, 0.2) }
 // across the Δ sweep of table T4.
 func BenchmarkT4BroadcastRound(b *testing.B) {
 	for _, delta := range []int{4, 8, 16} {
-		b.Run(benchName("delta", delta), func(b *testing.B) {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
 			benchGossipRound(b, 64, delta, 0.1)
 		})
 	}
 	for _, n := range []int{128, 256} {
-		b.Run(benchName("n", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchGossipRound(b, n, 8, 0.1)
 		})
 	}
@@ -236,7 +237,7 @@ func BenchmarkT7LocalBroadcast(b *testing.B) {
 // BenchmarkT8MatchingNative measures Algorithm 3 on the native engine.
 func BenchmarkT8MatchingNative(b *testing.B) {
 	for _, n := range []int{256, 1024} {
-		b.Run(benchName("n", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			g := mustRegular(b, n, 8, 10)
 			for i := 0; i < b.N; i++ {
 				eng, err := congest.NewBroadcastEngine(g, matching.MsgBits(n), uint64(i))
@@ -363,24 +364,6 @@ func BenchmarkExperimentSuiteQuick(b *testing.B) {
 			}
 		}
 	}
-}
-
-func benchName(k string, v int) string {
-	return k + "=" + itoa(v)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }
 
 // --- Parallel CSR engine benchmarks (DESIGN.md §2.9) ---

@@ -71,13 +71,29 @@ func DefaultRho(eps float64) int {
 }
 
 // Runner simulates Broadcast CONGEST rounds with the color-scheduled
-// baseline.
+// baseline. Like the Algorithm 1 runner it owns its per-round buffers —
+// slot patterns, receptions, and per-shard decode/score scratch — so
+// steady-state rounds allocate only inside algorithm callbacks; inboxes
+// are borrowed per the congest.BroadcastAlgorithm contract.
 type Runner struct {
 	g         *graph.Graph
 	cfg       Config
 	colors    []int
 	numColors int
 	nw        *beep.Network
+
+	patterns []*bitstring.BitString
+	patBuf   []*bitstring.BitString // per-node slot patterns, created lazily
+	heard    []*bitstring.BitString
+	scratch  []*shardScratch
+}
+
+// shardScratch is one execution-pool shard's reusable decode/score state.
+type shardScratch struct {
+	inbox     []congest.Message
+	msgPool   congest.MessagePool
+	truth     []congest.Message
+	truthPool congest.MessagePool
 }
 
 // NewRunner builds a baseline runner over g.
@@ -102,13 +118,25 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	colors := g.DistanceTwoColoring()
-	return &Runner{
+	r := &Runner{
 		g:         g,
 		cfg:       cfg,
 		colors:    colors,
 		numColors: graph.NumColors(colors),
 		nw:        nw,
-	}, nil
+	}
+	n := g.N()
+	r.patterns = make([]*bitstring.BitString, n)
+	r.patBuf = make([]*bitstring.BitString, n)
+	r.heard = make([]*bitstring.BitString, n)
+	for v := 0; v < n; v++ {
+		r.heard[v] = bitstring.New(r.RoundsPerSimRound())
+	}
+	r.scratch = make([]*shardScratch, nw.Pool().NumShards(n))
+	for i := range r.scratch {
+		r.scratch[i] = &shardScratch{}
+	}
+	return r, nil
 }
 
 // NumColors returns the schedule length (color classes of G²).
@@ -158,9 +186,59 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 	res := &core.Result{}
 	msgs := make([]congest.Message, n)
 	scores := make([]core.ScoreDelta, pool.NumShards(n))
+	collector := congest.NewCollector(pool, algs, msgs, r.cfg.MsgBits, "baseline")
 	doneAt := func(v int) bool { return algs[v].Done() }
+
+	// Span callbacks are built once, before the round loop (see the
+	// Algorithm 1 runner): steady-state rounds create no closures.
+	curRound := 0
+	total := r.RoundsPerSimRound()
+	encodePhase := func(s engine.Span) {
+		for v := s.Lo; v < s.Hi; v++ {
+			r.patterns[v] = nil
+			if msgs[v] == nil {
+				continue
+			}
+			if r.patBuf[v] == nil {
+				r.patBuf[v] = bitstring.New(total)
+			}
+			p := r.patBuf[v]
+			p.Reset()
+			base := r.colors[v] * r.slotLen()
+			for rep := 0; rep < r.cfg.Rho; rep++ {
+				p.Set(base + rep) // presence beacon
+			}
+			for bit := 0; bit < r.cfg.MsgBits; bit++ {
+				if !wire.Bit(msgs[v], bit) {
+					continue
+				}
+				off := base + (1+bit)*r.cfg.Rho
+				for rep := 0; rep < r.cfg.Rho; rep++ {
+					p.Set(off + rep)
+				}
+			}
+			r.patterns[v] = p
+		}
+	}
+	decodePhase := func(s engine.Span) {
+		sc := r.scratch[s.Index]
+		scores[s.Index] = core.ScoreDelta{}
+		for v := s.Lo; v < s.Hi; v++ {
+			a := algs[v]
+			if a.Done() {
+				continue
+			}
+			inbox := r.decode(v, r.heard[v], sc)
+			congest.SortMessages(inbox)
+			r.score(sc, &scores[s.Index], v, msgs, inbox)
+			a.Receive(curRound, inbox)
+			sc.inbox = inbox[:0]
+		}
+	}
+
 	simRounds, allDone, err := pool.Loop(n, maxSimRounds, doneAt, func(round int) error {
-		senders, err := congest.CollectBroadcasts(pool, algs, msgs, r.cfg.MsgBits, round, "baseline")
+		curRound = round
+		senders, err := collector.Collect(round)
 		if err != nil {
 			return err
 		}
@@ -173,49 +251,13 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 			return nil
 		}
 
-		patterns := make([]*bitstring.BitString, n)
-		total := r.RoundsPerSimRound()
-		pool.Do(n, func(s engine.Span) {
-			for v := s.Lo; v < s.Hi; v++ {
-				if msgs[v] == nil {
-					continue
-				}
-				p := bitstring.New(total)
-				base := r.colors[v] * r.slotLen()
-				for rep := 0; rep < r.cfg.Rho; rep++ {
-					p.Set(base + rep) // presence beacon
-				}
-				for bit := 0; bit < r.cfg.MsgBits; bit++ {
-					if !wire.Bit(msgs[v], bit) {
-						continue
-					}
-					off := base + (1+bit)*r.cfg.Rho
-					for rep := 0; rep < r.cfg.Rho; rep++ {
-						p.Set(off + rep)
-					}
-				}
-				patterns[v] = p
-			}
-		})
-		heard, err := r.nw.RunPhase(patterns)
-		if err != nil {
+		pool.Do(n, encodePhase)
+		if err := r.nw.RunPhaseInto(r.patterns, r.heard); err != nil {
 			return err
 		}
 		res.BeepRounds += total
 
-		pool.Do(n, func(s engine.Span) {
-			scores[s.Index] = core.ScoreDelta{}
-			for v := s.Lo; v < s.Hi; v++ {
-				a := algs[v]
-				if a.Done() {
-					continue
-				}
-				inbox := r.decode(v, heard[v])
-				congest.SortMessages(inbox)
-				r.score(&scores[s.Index], v, msgs, inbox)
-				a.Receive(round, inbox)
-			}
-		})
+		pool.Do(n, decodePhase)
 		res.AddScores(scores)
 		return nil
 	})
@@ -233,9 +275,11 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 }
 
 // decode reads every foreign color slot: majority presence beacon, then
-// per-bit majority for the payload.
-func (r *Runner) decode(v int, heard *bitstring.BitString) []congest.Message {
-	var inbox []congest.Message
+// per-bit majority for the payload. Messages land in the shard's reusable
+// buffers; the returned inbox is borrowed.
+func (r *Runner) decode(v int, heard *bitstring.BitString, sc *shardScratch) []congest.Message {
+	inbox := sc.inbox[:0]
+	msgBytes := (r.cfg.MsgBits + 7) / 8
 	for c := 0; c < r.numColors; c++ {
 		if c == r.colors[v] {
 			continue // our own slot (we cannot listen while beeping)
@@ -244,7 +288,10 @@ func (r *Runner) decode(v int, heard *bitstring.BitString) []congest.Message {
 		if !r.majority(heard, base) {
 			continue
 		}
-		m := make(congest.Message, (r.cfg.MsgBits+7)/8)
+		m := sc.msgPool.Buf(len(inbox), msgBytes)
+		for i := range m {
+			m[i] = 0
+		}
 		for bit := 0; bit < r.cfg.MsgBits; bit++ {
 			if r.majority(heard, base+(1+bit)*r.cfg.Rho) {
 				wire.SetBit(m, bit, true)
@@ -265,15 +312,14 @@ func (r *Runner) majority(heard *bitstring.BitString, off int) bool {
 	return 2*ones > r.cfg.Rho
 }
 
-func (r *Runner) score(d *core.ScoreDelta, v int, msgs []congest.Message, inbox []congest.Message) {
-	var truth []congest.Message
+func (r *Runner) score(sc *shardScratch, d *core.ScoreDelta, v int, msgs []congest.Message, inbox []congest.Message) {
+	truth := sc.truth[:0]
+	msgBytes := (r.cfg.MsgBits + 7) / 8
 	presence := 0
 	for _, u := range r.g.Row(v) {
 		if msgs[u] != nil {
 			presence++
-			padded := make(congest.Message, (r.cfg.MsgBits+7)/8)
-			copy(padded, msgs[u])
-			truth = append(truth, padded)
+			truth = append(truth, sc.truthPool.PadInto(len(truth), msgBytes, msgs[u]))
 		}
 	}
 	if presence != len(inbox) {
@@ -292,6 +338,7 @@ func (r *Runner) score(d *core.ScoreDelta, v int, msgs []congest.Message, inbox 
 	if !equal {
 		d.Message++
 	}
+	sc.truth = truth
 }
 
 // EstimatedSetupRounds reports the setup cost of the [4] baseline,

@@ -198,3 +198,54 @@ func TestBaselineSerialParallelIdentical(t *testing.T) {
 		}
 	}
 }
+
+// fixedAlg broadcasts one preallocated message per round with
+// allocation-free callbacks (the steady-state allocation probe).
+type fixedAlg struct {
+	msg    congest.Message
+	rounds int
+	seen   int
+}
+
+func (a *fixedAlg) Init(congest.Env)               { a.seen = 0 }
+func (a *fixedAlg) Broadcast(int) congest.Message  { return a.msg }
+func (a *fixedAlg) Receive(int, []congest.Message) { a.seen++ }
+func (a *fixedAlg) Done() bool                     { return a.seen >= a.rounds }
+func (a *fixedAlg) Output() any                    { return nil }
+
+// TestBaselineSteadyStateAllocs: like the Algorithm 1 runner, a warm TDMA
+// round (encode, radio, decode, deliver, score) must not allocate outside
+// algorithm callbacks. Differencing two Run lengths cancels per-Run setup.
+func TestBaselineSteadyStateAllocs(t *testing.T) {
+	g, err := graph.RandomRegular(20, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(g, Config{MsgBits: 8, Epsilon: 0.1, ChannelSeed: 3, AlgSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w wire.Writer
+	w.WriteUint(0x3c, 8)
+	msg := w.PaddedBytes(8)
+	algs := make([]congest.BroadcastAlgorithm, g.N())
+	for v := range algs {
+		algs[v] = &fixedAlg{msg: msg}
+	}
+	run := func(rounds int) float64 {
+		for _, a := range algs {
+			a.(*fixedAlg).rounds = rounds
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := runner.Run(algs, rounds); err != nil {
+				panic(err)
+			}
+		})
+	}
+	run(2) // warm lazy pattern buffers and noise samplers
+	short, long := run(2), run(12)
+	if perRound := (long - short) / 10; perRound > 0 {
+		t.Errorf("steady-state TDMA round allocates %.2f times (run(12)=%.1f run(2)=%.1f)",
+			perRound, long, short)
+	}
+}

@@ -113,6 +113,15 @@ type Network struct {
 	totalBeeps int64
 	noise      []*rng.FlipSampler
 	history    []*bitstring.BitString
+
+	// Reusable batch-phase state: the span callback is built once and
+	// reads the current window through these fields, so a RunPhaseInto
+	// call allocates nothing (Network is not safe for concurrent use —
+	// the round counter already forbids that).
+	phasePatterns []*bitstring.BitString
+	phaseDst      []*bitstring.BitString
+	phaseWin      int
+	phaseFn       func(engine.Span)
 }
 
 // NewNetwork creates a beeping network on g.
@@ -275,23 +284,40 @@ func (nw *Network) hearRange(progs []Program, beeped, heard *bitstring.BitString
 // by enumerating flip positions with a geometric sampler. The per-node
 // receptions are computed on the network's sharded pool.
 func (nw *Network) RunPhase(patterns []*bitstring.BitString) ([]*bitstring.BitString, error) {
+	length, err := nw.phaseLength(patterns)
+	if err != nil {
+		return nil, err
+	}
+	received := make([]*bitstring.BitString, len(patterns))
+	for v := range received {
+		received[v] = bitstring.New(length)
+	}
+	if err := nw.RunPhaseInto(patterns, received); err != nil {
+		return nil, err
+	}
+	return received, nil
+}
+
+// RunPhaseInto is RunPhase writing each node's reception into the
+// caller-provided dst[v] (fully overwritten), so steady-state callers —
+// the Algorithm 1 runner's two phases per simulated round — reuse one set
+// of reception buffers and the phase allocates nothing. Every dst[v] must
+// be non-nil with the window's length. Patterns are read-only and may
+// alias shared codeword masks; patterns[v] and dst[v] must not alias each
+// other.
+func (nw *Network) RunPhaseInto(patterns, dst []*bitstring.BitString) error {
 	n := nw.g.N()
-	if len(patterns) != n {
-		return nil, fmt.Errorf("beep: %d patterns for %d nodes", len(patterns), n)
+	length, err := nw.phaseLength(patterns)
+	if err != nil {
+		return err
 	}
-	length := -1
-	for v, p := range patterns {
-		if p == nil {
-			continue
-		}
-		if length == -1 {
-			length = p.Len()
-		} else if p.Len() != length {
-			return nil, fmt.Errorf("beep: pattern %d has length %d, want %d", v, p.Len(), length)
-		}
+	if len(dst) != n {
+		return fmt.Errorf("beep: %d reception buffers for %d nodes", len(dst), n)
 	}
-	if length == -1 {
-		return nil, fmt.Errorf("beep: all patterns nil")
+	for v, d := range dst {
+		if d == nil || d.Len() != length {
+			return fmt.Errorf("beep: reception buffer %d missing or not %d bits", v, length)
+		}
 	}
 
 	for v := 0; v < n; v++ {
@@ -306,12 +332,16 @@ func (nw *Network) RunPhase(patterns []*bitstring.BitString) ([]*bitstring.BitSt
 			nw.noiseSampler(v)
 		}
 	}
-	received := make([]*bitstring.BitString, n)
-	nw.pool.Do(n, func(s engine.Span) {
-		for v := s.Lo; v < s.Hi; v++ {
-			received[v] = nw.receiveOne(v, patterns, length)
+	if nw.phaseFn == nil {
+		nw.phaseFn = func(s engine.Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				nw.receiveInto(v, nw.phasePatterns, nw.phaseWin, nw.phaseDst[v])
+			}
 		}
-	})
+	}
+	nw.phasePatterns, nw.phaseDst, nw.phaseWin = patterns, dst, length
+	nw.pool.Do(n, nw.phaseFn)
+	nw.phasePatterns, nw.phaseDst = nil, nil // don't retain caller buffers
 	if nw.params.RecordBeeps {
 		for t := 0; t < length; t++ {
 			col := bitstring.New(n)
@@ -324,17 +354,40 @@ func (nw *Network) RunPhase(patterns []*bitstring.BitString) ([]*bitstring.BitSt
 		}
 	}
 	nw.round += length
-	return received, nil
+	return nil
 }
 
-// receiveOne computes node v's reception for one batch window: the OR
-// over its inclusive neighborhood, then its private noise stream. It
-// touches only v's sampler and output slot, so distinct nodes may run
-// concurrently.
-func (nw *Network) receiveOne(v int, patterns []*bitstring.BitString, length int) *bitstring.BitString {
-	acc := bitstring.New(length)
+// phaseLength validates a pattern set and returns the window length.
+func (nw *Network) phaseLength(patterns []*bitstring.BitString) (int, error) {
+	if len(patterns) != nw.g.N() {
+		return 0, fmt.Errorf("beep: %d patterns for %d nodes", len(patterns), nw.g.N())
+	}
+	length := -1
+	for v, p := range patterns {
+		if p == nil {
+			continue
+		}
+		if length == -1 {
+			length = p.Len()
+		} else if p.Len() != length {
+			return 0, fmt.Errorf("beep: pattern %d has length %d, want %d", v, p.Len(), length)
+		}
+	}
+	if length == -1 {
+		return 0, fmt.Errorf("beep: all patterns nil")
+	}
+	return length, nil
+}
+
+// receiveInto computes node v's reception for one batch window into acc:
+// the OR over its inclusive neighborhood, then its private noise stream.
+// It touches only v's sampler and output buffer, so distinct nodes may
+// run concurrently.
+func (nw *Network) receiveInto(v int, patterns []*bitstring.BitString, length int, acc *bitstring.BitString) {
 	if patterns[v] != nil {
-		acc.OrInPlace(patterns[v])
+		acc.CopyFrom(patterns[v])
+	} else {
+		acc.Reset()
 	}
 	for _, u := range nw.g.Row(v) {
 		if p := patterns[u]; p != nil {
@@ -359,7 +412,6 @@ func (nw *Network) receiveOne(v int, patterns []*bitstring.BitString, length int
 			acc.Flip(pos)
 		}
 	}
-	return acc
 }
 
 // flipAt reports whether node v's reception at absolute round t is flipped

@@ -555,3 +555,85 @@ func TestRunBitsetPropagationSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPhaseIntoMatchesRunPhase: the buffer-reusing batch path must
+// reproduce RunPhase bit for bit — same receptions, same noise stream
+// consumption across consecutive windows — while fully overwriting dirty
+// destination buffers.
+func TestRunPhaseIntoMatchesRunPhase(t *testing.T) {
+	g, err := graph.RandomRegular(18, 4, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window, seed = 96, 77
+	mkPatterns := func(round int) []*bitstring.BitString {
+		r := rng.New(uint64(round + 1))
+		patterns := make([]*bitstring.BitString, g.N())
+		for v := range patterns {
+			if v%3 == round%3 {
+				continue // silent this window
+			}
+			s := bitstring.New(window)
+			for i := 0; i < window; i++ {
+				if r.Bool(0.2) {
+					s.Set(i)
+				}
+			}
+			patterns[v] = s
+		}
+		return patterns
+	}
+	nwA, err := NewNetwork(g, Params{Epsilon: 0.1, Seed: seed, NoisyOwn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwB, err := NewNetwork(g, Params{Epsilon: 0.1, Seed: seed, NoisyOwn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]*bitstring.BitString, g.N())
+	for v := range dst {
+		dst[v] = bitstring.New(window)
+		dst[v].SetAll() // dirty: RunPhaseInto must overwrite
+	}
+	for round := 0; round < 3; round++ {
+		patterns := mkPatterns(round)
+		want, err := nwA.RunPhase(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nwB.RunPhaseInto(patterns, dst); err != nil {
+			t.Fatal(err)
+		}
+		for v := range dst {
+			if !dst[v].Equal(want[v]) {
+				t.Fatalf("round %d node %d: RunPhaseInto differs from RunPhase", round, v)
+			}
+		}
+	}
+	if nwA.TotalBeeps() != nwB.TotalBeeps() || nwA.Round() != nwB.Round() {
+		t.Fatalf("counters diverged: beeps %d vs %d, rounds %d vs %d",
+			nwA.TotalBeeps(), nwB.TotalBeeps(), nwA.Round(), nwB.Round())
+	}
+}
+
+// TestRunPhaseIntoValidation: bad destination sets must be rejected.
+func TestRunPhaseIntoValidation(t *testing.T) {
+	g := graph.Path(3)
+	nw, err := NewNetwork(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []*bitstring.BitString{bitstring.New(8), nil, nil}
+	if err := nw.RunPhaseInto(patterns, make([]*bitstring.BitString, 2)); err == nil {
+		t.Error("wrong dst count accepted")
+	}
+	dst := []*bitstring.BitString{bitstring.New(8), bitstring.New(7), bitstring.New(8)}
+	if err := nw.RunPhaseInto(patterns, dst); err == nil {
+		t.Error("wrong dst length accepted")
+	}
+	dst[1] = nil
+	if err := nw.RunPhaseInto(patterns, dst); err == nil {
+		t.Error("nil dst buffer accepted")
+	}
+}

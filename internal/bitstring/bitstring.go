@@ -108,6 +108,20 @@ func (s *BitString) Reset() {
 	}
 }
 
+// SetAll sets every bit to 1, retaining the length.
+func (s *BitString) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+}
+
+// CopyFrom overwrites s with t's bits. It panics if lengths differ.
+func (s *BitString) CopyFrom(t *BitString) {
+	s.checkLen(t)
+	copy(s.words, t.words)
+}
+
 // Ones returns the number of 1-bits in s: the paper's 1(s).
 func (s *BitString) Ones() int {
 	total := 0
@@ -218,6 +232,103 @@ func (s *BitString) AndNotCount(t *BitString) int {
 	total := 0
 	for i, w := range s.words {
 		total += bits.OnesCount64(w &^ t.words[i])
+	}
+	return total
+}
+
+// AndNotCountLimit returns min(1(s ∧ ¬t), limit), early-exiting the word
+// sweep once limit is reached — the membership test's "count misses up to
+// θ" in one popcount pass. It panics if lengths differ.
+func (s *BitString) AndNotCountLimit(t *BitString, limit int) int {
+	s.checkLen(t)
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w &^ t.words[i])
+		if total >= limit {
+			return limit
+		}
+	}
+	return total
+}
+
+// AndCountLimit returns min(1(s ∧ t), limit), early-exiting the word sweep
+// once limit is reached. Callers that only compare the intersection count
+// against a threshold d get the exact same verdict from
+// AndCountLimit(t, d) >= d at a fraction of the scan cost.
+// It panics if lengths differ.
+func (s *BitString) AndCountLimit(t *BitString, limit int) int {
+	s.checkLen(t)
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w & t.words[i])
+		if total >= limit {
+			return limit
+		}
+	}
+	return total
+}
+
+// GatherInto writes into dst the bits of s at the given positions:
+// dst bit j becomes s bit positions[j]. This is the decoder's ỹ gather —
+// reading a codeword's W positions out of a length-b transcript — fused
+// into one table-driven pass with no allocation. dst must have exactly
+// len(positions) bits; positions must be in range.
+func (s *BitString) GatherInto(dst *BitString, positions []int32) {
+	if dst.n != len(positions) {
+		panic(fmt.Sprintf("bitstring: gather into %d bits from %d positions", dst.n, len(positions)))
+	}
+	dst.Reset()
+	for j, p := range positions {
+		if s.words[p>>6]&(1<<(uint(p)&63)) != 0 {
+			dst.words[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+}
+
+// CountZerosAtLimit returns min(z, limit) where z is the number of the
+// given positions at which s reads 0 — the decoder's stage-A probe count,
+// early-exited once the rejection threshold is reached. Positions must be
+// in range.
+func (s *BitString) CountZerosAtLimit(positions []int32, limit int) int {
+	zeros := 0
+	for _, p := range positions {
+		if s.words[p>>6]&(1<<(uint(p)&63)) == 0 {
+			zeros++
+			if zeros >= limit {
+				return limit
+			}
+		}
+	}
+	return zeros
+}
+
+// AndNotCountPrefixLimit returns min(z, limit) where z is the number of
+// positions in [0, prefixBits) with s=1 and t=0 — the decoder's stage-A
+// probe count run word-parallel over the probe region instead of
+// position by position. prefixBits is clamped to Len().
+// It panics if lengths differ.
+func (s *BitString) AndNotCountPrefixLimit(t *BitString, prefixBits, limit int) int {
+	s.checkLen(t)
+	if prefixBits > s.n {
+		prefixBits = s.n
+	}
+	if prefixBits <= 0 {
+		return 0
+	}
+	full := prefixBits / wordBits
+	total := 0
+	for i := 0; i < full; i++ {
+		total += bits.OnesCount64(s.words[i] &^ t.words[i])
+		if total >= limit {
+			return limit
+		}
+	}
+	if rem := prefixBits % wordBits; rem != 0 {
+		tail := uint64(1)<<uint(rem) - 1
+		total += bits.OnesCount64(s.words[full] &^ t.words[full] & tail)
+		if total >= limit {
+			return limit
+		}
 	}
 	return total
 }

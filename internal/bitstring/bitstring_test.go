@@ -419,6 +419,149 @@ func TestPropertyOnesPositionsConsistent(t *testing.T) {
 	}
 }
 
+func TestSetAllAndCopyFrom(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		s := New(n)
+		s.SetAll()
+		if s.Ones() != n {
+			t.Errorf("n=%d: SetAll gave %d ones", n, s.Ones())
+		}
+		s.MaskTail()
+		if s.Ones() != n {
+			t.Errorf("n=%d: SetAll left tail bits set", n)
+		}
+		dst := New(n)
+		dst.CopyFrom(s)
+		if !dst.Equal(s) {
+			t.Errorf("n=%d: CopyFrom mismatch", n)
+		}
+		s.Reset()
+		if dst.Ones() != n {
+			t.Errorf("n=%d: CopyFrom aliased source", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom length mismatch did not panic")
+		}
+	}()
+	New(5).CopyFrom(New(6))
+}
+
+func TestPropertyAndCountLimit(t *testing.T) {
+	f := func(seed int64, nRaw uint16, limRaw uint8) bool {
+		n := 1 + int(nRaw)%300
+		r := rand.New(rand.NewSource(seed))
+		a := randomBitString(r, n)
+		b := randomBitString(r, n)
+		exact := a.AndCount(b)
+		limit := int(limRaw) % (n + 2)
+		got := a.AndCountLimit(b, limit)
+		if exact >= limit {
+			return got == limit
+		}
+		return got == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAndNotCountLimit(t *testing.T) {
+	f := func(seed int64, nRaw uint16, limRaw uint8) bool {
+		n := 1 + int(nRaw)%300
+		r := rand.New(rand.NewSource(seed))
+		a := randomBitString(r, n)
+		b := randomBitString(r, n)
+		exact := a.AndNotCount(b)
+		limit := int(limRaw) % (n + 2)
+		got := a.AndNotCountLimit(b, limit)
+		if exact >= limit {
+			return got == limit
+		}
+		return got == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAndNotCountPrefixLimit(t *testing.T) {
+	f := func(seed int64, nRaw uint16, prefRaw, limRaw uint8) bool {
+		n := 1 + int(nRaw)%300
+		r := rand.New(rand.NewSource(seed))
+		a := randomBitString(r, n)
+		b := randomBitString(r, n)
+		prefix := int(prefRaw) % (n + 10) // may exceed n: clamped
+		exact := 0
+		for i := 0; i < prefix && i < n; i++ {
+			if a.Get(i) && !b.Get(i) {
+				exact++
+			}
+		}
+		limit := int(limRaw) % (n + 2)
+		got := a.AndNotCountPrefixLimit(b, prefix, limit)
+		if exact >= limit {
+			return got == limit
+		}
+		return got == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGatherInto(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 8 + int(nRaw)%200
+		k := 1 + int(kRaw)%100
+		r := rand.New(rand.NewSource(seed))
+		s := randomBitString(r, n)
+		positions := make([]int32, k)
+		for j := range positions {
+			positions[j] = int32(r.Intn(n))
+		}
+		dst := New(k)
+		dst.SetAll() // GatherInto must fully overwrite
+		s.GatherInto(dst, positions)
+		for j, p := range positions {
+			if dst.Get(j) != s.Get(int(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountZerosAtLimit(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw, limRaw uint8) bool {
+		n := 8 + int(nRaw)%200
+		k := 1 + int(kRaw)%100
+		r := rand.New(rand.NewSource(seed))
+		s := randomBitString(r, n)
+		positions := make([]int32, k)
+		exact := 0
+		for j := range positions {
+			positions[j] = int32(r.Intn(n))
+			if !s.Get(int(positions[j])) {
+				exact++
+			}
+		}
+		limit := int(limRaw) % (k + 2)
+		got := s.CountZerosAtLimit(positions, limit)
+		if exact >= limit {
+			return got == limit
+		}
+		return got == exact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func mustParse(t *testing.T, text string) *BitString {
 	t.Helper()
 	s, err := Parse(text)

@@ -20,6 +20,7 @@ package codes
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitstring"
 	"repro/internal/rng"
@@ -45,11 +46,25 @@ type BeepCode interface {
 // BlockedBeepCode is the O(1)-lookup beep code: length W·BlockSize, one 1
 // per block, offsets derived from a public seed. Two distinct codewords
 // collide in each block independently with probability 1/BlockSize.
+//
+// The PRG hash behind Offset is paid once, at construction: the code
+// carries flat per-codeword position and offset tables, cached codeword
+// masks (Mask), and — built lazily on first use — per-block offset→codeword
+// collision buckets (Bucket). These read-only tables are what make the §4
+// decoder's hot path word-parallel and hash-free.
 type BlockedBeepCode struct {
 	weight    int
 	blockSize int
 	m         int
 	seed      uint64
+
+	positions []int32                // flat m×weight: Position(cw, i) = positions[cw*weight+i]
+	offsets   []int32                // flat m×weight: Offset(cw, i) = offsets[cw*weight+i]
+	masks     []*bitstring.BitString // cached codewords, shared read-only
+
+	collideOnce sync.Once
+	bucketStart []int32 // CSR over (block, offset) cells, length weight·blockSize+1
+	bucketCW    []int32 // codewords grouped by cell, ascending within each
 }
 
 // NewBlockedBeepCode constructs a blocked beep code with the given weight
@@ -59,7 +74,24 @@ func NewBlockedBeepCode(weight, blockSize, m int, seed uint64) (*BlockedBeepCode
 		return nil, fmt.Errorf("codes: invalid blocked beep code (weight=%d blockSize=%d m=%d)",
 			weight, blockSize, m)
 	}
-	return &BlockedBeepCode{weight: weight, blockSize: blockSize, m: m, seed: seed}, nil
+	c := &BlockedBeepCode{weight: weight, blockSize: blockSize, m: m, seed: seed}
+	c.positions = make([]int32, m*weight)
+	c.offsets = make([]int32, m*weight)
+	c.masks = make([]*bitstring.BitString, m)
+	length := c.Length()
+	for cw := 0; cw < m; cw++ {
+		mask := bitstring.New(length)
+		row := cw * weight
+		for i := 0; i < weight; i++ {
+			off := int32(rng.Mix(seed, uint64(cw), uint64(i)) % uint64(blockSize))
+			pos := int32(i*blockSize) + off
+			c.offsets[row+i] = off
+			c.positions[row+i] = pos
+			mask.Set(int(pos))
+		}
+		c.masks[cw] = mask
+	}
+	return c, nil
 }
 
 // Length returns b = W·BlockSize.
@@ -76,32 +108,151 @@ func (c *BlockedBeepCode) NumCodewords() int { return c.m }
 
 // Offset returns the within-block offset of codeword cw's 1 in block i.
 func (c *BlockedBeepCode) Offset(cw, i int) int {
+	return int(c.offsets[cw*c.weight+i])
+}
+
+// HashOffset recomputes Offset(cw, i) from the PRG definition, bypassing
+// the cached tables. It is the definitional source the construction (and
+// the table-consistency tests) check against.
+func (c *BlockedBeepCode) HashOffset(cw, i int) int {
 	return int(rng.Mix(c.seed, uint64(cw), uint64(i)) % uint64(c.blockSize))
 }
 
 // Position returns the absolute position of codeword cw's 1 in block i.
 func (c *BlockedBeepCode) Position(cw, i int) int {
-	return i*c.blockSize + c.Offset(cw, i)
+	return int(c.positions[cw*c.weight+i])
 }
 
-// Codeword materializes codeword cw.
+// PositionRow returns codeword cw's W positions as a shared read-only
+// slice into the code's flat position table.
+func (c *BlockedBeepCode) PositionRow(cw int) []int32 {
+	return c.positions[cw*c.weight : (cw+1)*c.weight : (cw+1)*c.weight]
+}
+
+// OffsetRow returns codeword cw's W within-block offsets as a shared
+// read-only slice into the code's flat offset table.
+func (c *BlockedBeepCode) OffsetRow(cw int) []int32 {
+	return c.offsets[cw*c.weight : (cw+1)*c.weight : (cw+1)*c.weight]
+}
+
+// Mask returns codeword cw as a cached bitstring, shared and read-only:
+// callers must not mutate it. Use Codeword for an owned copy.
+func (c *BlockedBeepCode) Mask(cw int) *bitstring.BitString {
+	return c.masks[cw]
+}
+
+// Codeword materializes codeword cw as an independent copy.
 func (c *BlockedBeepCode) Codeword(cw int) *bitstring.BitString {
-	s := bitstring.New(c.Length())
-	for i := 0; i < c.weight; i++ {
-		s.Set(c.Position(cw, i))
+	return c.masks[cw].Clone()
+}
+
+// Bucket returns the codewords whose 1 in block i sits at offset off, in
+// ascending order — the collision table cell the decoder's solo-mask
+// builder walks. The underlying CSR tables are built once, on first call
+// (construction stays cheap for codes that never decode), and are shared
+// read-only afterwards.
+func (c *BlockedBeepCode) Bucket(i, off int) []int32 {
+	c.collideOnce.Do(c.buildBuckets)
+	cell := i*c.blockSize + off
+	return c.bucketCW[c.bucketStart[cell]:c.bucketStart[cell+1]]
+}
+
+// buildBuckets counting-sorts every codeword into its (block, offset)
+// cell: one pass to size the cells, one to fill them. Codewords land in
+// ascending order within each cell because the fill pass scans them in
+// order.
+func (c *BlockedBeepCode) buildBuckets() {
+	cells := c.weight * c.blockSize
+	start := make([]int32, cells+1)
+	for cw := 0; cw < c.m; cw++ {
+		row := cw * c.weight
+		for i := 0; i < c.weight; i++ {
+			start[i*c.blockSize+int(c.offsets[row+i])+1]++
+		}
 	}
-	return s
+	for cell := 0; cell < cells; cell++ {
+		start[cell+1] += start[cell]
+	}
+	cws := make([]int32, c.m*c.weight)
+	next := make([]int32, cells)
+	copy(next, start[:cells])
+	for cw := 0; cw < c.m; cw++ {
+		row := cw * c.weight
+		for i := 0; i < c.weight; i++ {
+			cell := i*c.blockSize + int(c.offsets[row+i])
+			cws[next[cell]] = int32(cw)
+			next[cell]++
+		}
+	}
+	c.bucketStart, c.bucketCW = start, cws
 }
 
 var _ BeepCode = (*BlockedBeepCode)(nil)
 
+// blockedCache shares constructed BlockedBeepCodes across callers: a code
+// is an immutable pure function of (weight, blockSize, m, seed) — public
+// shared knowledge in the paper's model — so every runner over the same
+// parameterization can use one instance instead of re-hashing M·W
+// positions. Capacity is bounded by evicting one arbitrary entry per
+// overflow (a sweep grid touches only a handful of parameterizations at
+// a time, so anything beyond the limit is churn either way).
+var (
+	blockedCacheMu sync.Mutex
+	blockedCache   = map[blockedKey]*BlockedBeepCode{}
+)
+
+const blockedCacheLimit = 16
+
+type blockedKey struct {
+	weight, blockSize, m int
+	seed                 uint64
+}
+
+// SharedBlockedBeepCode returns a cached BlockedBeepCode for the given
+// parameters, constructing (and caching) it on first request. The result
+// is shared: callers get the same read-only instance and must not mutate
+// anything reachable from it. Construction happens outside the cache
+// lock, so concurrent runner setup over distinct parameterizations is
+// not serialized; racing constructions of the same key build identical
+// codes and the first insert wins.
+func SharedBlockedBeepCode(weight, blockSize, m int, seed uint64) (*BlockedBeepCode, error) {
+	key := blockedKey{weight: weight, blockSize: blockSize, m: m, seed: seed}
+	blockedCacheMu.Lock()
+	if c, ok := blockedCache[key]; ok {
+		blockedCacheMu.Unlock()
+		return c, nil
+	}
+	blockedCacheMu.Unlock()
+
+	c, err := NewBlockedBeepCode(weight, blockSize, m, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	blockedCacheMu.Lock()
+	defer blockedCacheMu.Unlock()
+	if prior, ok := blockedCache[key]; ok {
+		return prior, nil // lost the construction race; share the winner
+	}
+	if len(blockedCache) >= blockedCacheLimit {
+		for k := range blockedCache {
+			delete(blockedCache, k)
+			break
+		}
+	}
+	blockedCache[key] = c
+	return c, nil
+}
+
 // RandomBeepCode is Theorem 4's construction: M codewords drawn uniformly
-// among weight-W strings of length B, materialized as sorted position
-// lists.
+// among weight-W strings of length B, materialized as a flat sorted
+// position table plus cached codeword masks.
 type RandomBeepCode struct {
 	length    int
 	weight    int
-	positions [][]int32
+	m         int
+	positions []int32                // flat m×weight, sorted within each row
+	masks     []*bitstring.BitString // cached codewords, shared read-only
 }
 
 // NewRandomBeepCode draws an M-codeword code of length b and weight w from
@@ -110,15 +261,22 @@ func NewRandomBeepCode(b, w, m int, r *rng.Stream) (*RandomBeepCode, error) {
 	if w <= 0 || b < w || m <= 0 {
 		return nil, fmt.Errorf("codes: invalid random beep code (b=%d w=%d m=%d)", b, w, m)
 	}
-	c := &RandomBeepCode{length: b, weight: w, positions: make([][]int32, m)}
-	for cw := range c.positions {
+	c := &RandomBeepCode{
+		length:    b,
+		weight:    w,
+		m:         m,
+		positions: make([]int32, m*w),
+		masks:     make([]*bitstring.BitString, m),
+	}
+	for cw := 0; cw < m; cw++ {
 		sample := r.SampleDistinct(b, w)
 		sort.Ints(sample)
-		ps := make([]int32, w)
+		mask := bitstring.New(b)
 		for i, p := range sample {
-			ps[i] = int32(p)
+			c.positions[cw*w+i] = int32(p)
+			mask.Set(p)
 		}
-		c.positions[cw] = ps
+		c.masks[cw] = mask
 	}
 	return c, nil
 }
@@ -130,18 +288,23 @@ func (c *RandomBeepCode) Length() int { return c.length }
 func (c *RandomBeepCode) Weight() int { return c.weight }
 
 // NumCodewords returns M.
-func (c *RandomBeepCode) NumCodewords() int { return len(c.positions) }
+func (c *RandomBeepCode) NumCodewords() int { return c.m }
 
 // Position returns the position of the i-th 1 of codeword cw.
-func (c *RandomBeepCode) Position(cw, i int) int { return int(c.positions[cw][i]) }
+func (c *RandomBeepCode) Position(cw, i int) int { return int(c.positions[cw*c.weight+i]) }
 
-// Codeword materializes codeword cw.
+// PositionRow returns codeword cw's sorted positions as a shared
+// read-only slice into the code's flat position table.
+func (c *RandomBeepCode) PositionRow(cw int) []int32 {
+	return c.positions[cw*c.weight : (cw+1)*c.weight : (cw+1)*c.weight]
+}
+
+// Mask returns codeword cw as a cached bitstring, shared and read-only.
+func (c *RandomBeepCode) Mask(cw int) *bitstring.BitString { return c.masks[cw] }
+
+// Codeword materializes codeword cw as an independent copy.
 func (c *RandomBeepCode) Codeword(cw int) *bitstring.BitString {
-	s := bitstring.New(c.length)
-	for _, p := range c.positions[cw] {
-		s.Set(int(p))
-	}
-	return s
+	return c.masks[cw].Clone()
 }
 
 var _ BeepCode = (*RandomBeepCode)(nil)
@@ -162,6 +325,13 @@ func SuperimpositionCheck(c BeepCode, k, d, trials int, r *rng.Stream) (badFract
 	if trials <= 0 {
 		return 0, fmt.Errorf("codes: trials must be positive")
 	}
+	// Both code families cache their codewords as read-only masks, so the
+	// superimposition is a word-parallel OR and the d-intersection test a
+	// popcount sweep with early exit at d.
+	type masker interface {
+		Mask(cw int) *bitstring.BitString
+	}
+	mk, hasMasks := c.(masker)
 	bad := 0
 	for t := 0; t < trials; t++ {
 		subset := r.SampleDistinct(m, k)
@@ -169,6 +339,10 @@ func SuperimpositionCheck(c BeepCode, k, d, trials int, r *rng.Stream) (badFract
 		sup := bitstring.New(c.Length())
 		for _, cw := range subset {
 			inSet[cw] = true
+			if hasMasks {
+				sup.OrInPlace(mk.Mask(cw))
+				continue
+			}
 			for i := 0; i < c.Weight(); i++ {
 				sup.Set(c.Position(cw, i))
 			}
@@ -178,11 +352,15 @@ func SuperimpositionCheck(c BeepCode, k, d, trials int, r *rng.Stream) (badFract
 				continue
 			}
 			count := 0
-			for i := 0; i < c.Weight(); i++ {
-				if sup.Get(c.Position(cw, i)) {
-					count++
-					if count >= d {
-						break
+			if hasMasks {
+				count = mk.Mask(cw).AndCountLimit(sup, d)
+			} else {
+				for i := 0; i < c.Weight(); i++ {
+					if sup.Get(c.Position(cw, i)) {
+						count++
+						if count >= d {
+							break
+						}
 					}
 				}
 			}

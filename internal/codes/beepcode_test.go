@@ -244,6 +244,85 @@ func TestPropertyBlockedOffsetsInRange(t *testing.T) {
 	}
 }
 
+// TestBlockedTablesMatchHashDefinition: the precomputed position/offset
+// tables and cached masks must agree with the PRG definition (HashOffset)
+// for every (codeword, block) pair.
+func TestBlockedTablesMatchHashDefinition(t *testing.T) {
+	c, err := NewBlockedBeepCode(24, 10, 64, 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cw := 0; cw < c.NumCodewords(); cw++ {
+		posRow, offRow := c.PositionRow(cw), c.OffsetRow(cw)
+		mask := c.Mask(cw)
+		if mask.Ones() != c.Weight() {
+			t.Fatalf("cw %d: mask weight %d, want %d", cw, mask.Ones(), c.Weight())
+		}
+		for i := 0; i < c.Weight(); i++ {
+			off := c.HashOffset(cw, i)
+			if int(offRow[i]) != off || c.Offset(cw, i) != off {
+				t.Fatalf("cw %d block %d: offset table %d, hash %d", cw, i, offRow[i], off)
+			}
+			pos := i*c.BlockSize() + off
+			if int(posRow[i]) != pos || c.Position(cw, i) != pos {
+				t.Fatalf("cw %d block %d: position table %d, hash %d", cw, i, posRow[i], pos)
+			}
+			if !mask.Get(pos) {
+				t.Fatalf("cw %d block %d: mask misses position %d", cw, i, pos)
+			}
+		}
+	}
+}
+
+// TestBlockedBucketsMatchOffsets: every (block, offset) collision bucket
+// must contain exactly the codewords whose offset table says so, in
+// ascending order.
+func TestBlockedBucketsMatchOffsets(t *testing.T) {
+	c, err := NewBlockedBeepCode(12, 6, 50, 0xabcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for block := 0; block < c.Weight(); block++ {
+		for off := 0; off < c.BlockSize(); off++ {
+			var want []int32
+			for cw := 0; cw < c.NumCodewords(); cw++ {
+				if c.Offset(cw, block) == off {
+					want = append(want, int32(cw))
+				}
+			}
+			got := c.Bucket(block, off)
+			if len(got) != len(want) {
+				t.Fatalf("block %d off %d: bucket %v, want %v", block, off, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("block %d off %d: bucket %v, want %v", block, off, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCodewordIndependentOfMask: Codeword must return an owned copy, not
+// the shared cached mask.
+func TestCodewordIndependentOfMask(t *testing.T) {
+	bc, err := NewBlockedBeepCode(8, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRandomBeepCode(64, 8, 10, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []BeepCode{bc, rc} {
+		cw := c.Codeword(3)
+		cw.Reset()
+		if got := c.Codeword(3).Ones(); got != c.Weight() {
+			t.Errorf("%T: mutating Codeword corrupted the cache (weight %d)", c, got)
+		}
+	}
+}
+
 func BenchmarkBlockedPosition(b *testing.B) {
 	c, _ := NewBlockedBeepCode(512, 128, 4096, 3)
 	b.ResetTimer()

@@ -79,6 +79,11 @@ func (c *RepetitionCode) Length() int { return c.msgBits * c.reps }
 // Reps returns the number of positions per message bit.
 func (c *RepetitionCode) Reps() int { return c.reps }
 
+// BitFor returns the message bit index carried by codeword position pos —
+// the permutation table callers use to scatter an encoding without
+// materializing the intermediate codeword.
+func (c *RepetitionCode) BitFor(pos int) int { return int(c.bitFor[pos]) }
+
 // Encode maps msg to its codeword.
 func (c *RepetitionCode) Encode(msg []byte) *bitstring.BitString {
 	out := bitstring.New(c.Length())
@@ -94,7 +99,16 @@ func (c *RepetitionCode) Encode(msg []byte) *bitstring.BitString {
 // falling back to a one-sided-biased threshold over all positions for bits
 // with no solo coverage.
 func (c *RepetitionCode) Decode(obs, solo *bitstring.BitString) []byte {
-	out := make([]byte, (c.msgBits+7)/8)
+	return c.DecodeInto(obs, solo, make([]byte, (c.msgBits+7)/8))
+}
+
+// DecodeInto is Decode writing into a caller-provided buffer, which must
+// hold ⌈MessageBits/8⌉ bytes; it is fully overwritten and returned.
+func (c *RepetitionCode) DecodeInto(obs, solo *bitstring.BitString, out []byte) []byte {
+	out = out[:(c.msgBits+7)/8]
+	for i := range out {
+		out[i] = 0
+	}
 	for bit := 0; bit < c.msgBits; bit++ {
 		ones, zeros := 0, 0
 		for _, pos := range c.byBit[bit] {

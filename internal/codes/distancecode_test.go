@@ -118,6 +118,37 @@ func TestRepetitionFallbackWhenNoSolo(t *testing.T) {
 	}
 }
 
+// TestDecodeIntoMatchesDecode: DecodeInto must fully overwrite its buffer
+// and agree with Decode on noisy observations.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	c, err := NewRepetitionCode(12, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	buf := make([]byte, (c.MessageBits()+7)/8)
+	for trial := 0; trial < 50; trial++ {
+		obs := bitstring.New(c.Length())
+		solo := bitstring.New(c.Length())
+		for j := 0; j < c.Length(); j++ {
+			if r.Bool(0.4) {
+				obs.Set(j)
+			}
+			if r.Bool(0.6) {
+				solo.Set(j)
+			}
+		}
+		for i := range buf {
+			buf[i] = 0xff // stale garbage DecodeInto must clear
+		}
+		want := c.Decode(obs, solo)
+		got := c.DecodeInto(obs, solo, buf)
+		if !wire.Equal(got, want, c.MessageBits()) {
+			t.Fatalf("trial %d: DecodeInto %x, Decode %x", trial, got, want)
+		}
+	}
+}
+
 func TestRandomDistanceCodeMinDistance(t *testing.T) {
 	// Lemma 6 with δ = 1/3, c_δ = 12(1-2δ)^{-2} = 108: length 108a gives
 	// min distance >= b/3 w.h.p. Verified exhaustively for a = 8.

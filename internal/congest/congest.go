@@ -18,7 +18,7 @@ package congest
 import (
 	"bytes"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -58,6 +58,11 @@ func NodeStream(seed uint64, node int) *rng.Stream {
 // workers; algorithms must keep mutable state per node and use only
 // Env.Rng for randomness. Returned messages must not be mutated after
 // being returned.
+//
+// The inbox passed to Receive — the slice and the messages it holds — is
+// borrowed: it is valid only for the duration of the call, and engines
+// reuse the backing buffers on later rounds. Algorithms that need a
+// message past the call must copy it.
 type BroadcastAlgorithm interface {
 	Init(env Env)
 	Broadcast(round int) Message
@@ -115,33 +120,86 @@ func (e *BroadcastEngine) Env(v int) Env {
 	}
 }
 
-// CollectBroadcasts runs one round's broadcast-collection phase on pool:
-// each non-done algorithm's validated message lands in msgs[v] (nil for
-// silence or done nodes). It returns the sender count and the first
-// validation error in node order, prefixed with errPrefix. It is the
-// phase shared by the native engine, the Algorithm 1 runner, and the
-// TDMA baseline.
-func CollectBroadcasts(pool *engine.Pool, algs []BroadcastAlgorithm, msgs []Message, msgBits, round int, errPrefix string) (int64, error) {
-	return pool.SumErr(len(algs), func(s engine.Span) (int64, error) {
-		var sends int64
-		for v := s.Lo; v < s.Hi; v++ {
-			a := algs[v]
-			msgs[v] = nil
-			if a.Done() {
-				continue
-			}
-			m := a.Broadcast(round)
-			if m == nil {
-				continue
-			}
-			if err := CheckWidth(m, msgBits); err != nil {
-				return sends, fmt.Errorf("%s: node %d round %d: %w", errPrefix, v, round, err)
-			}
-			msgs[v] = m
-			sends++
+// Collector runs the broadcast-collection phase shared by the native
+// engine, the Algorithm 1 runner, and the TDMA baseline: each non-done
+// algorithm's validated message lands in msgs[v] (nil for silence or done
+// nodes). A Collector is built once per run — its span callback and
+// per-shard accumulators are reused every round, so collection performs
+// no steady-state allocations. It is not safe for concurrent Collect
+// calls (engines run their phases sequentially).
+type Collector struct {
+	pool      *engine.Pool
+	algs      []BroadcastAlgorithm
+	msgs      []Message
+	msgBits   int
+	errPrefix string
+
+	round int
+	sends []int64
+	errs  []error
+	fn    func(engine.Span)
+}
+
+// NewCollector builds a collector writing into msgs (one slot per
+// algorithm); errPrefix tags validation errors with the engine's name.
+func NewCollector(pool *engine.Pool, algs []BroadcastAlgorithm, msgs []Message, msgBits int, errPrefix string) *Collector {
+	c := &Collector{
+		pool:      pool,
+		algs:      algs,
+		msgs:      msgs,
+		msgBits:   msgBits,
+		errPrefix: errPrefix,
+		sends:     make([]int64, pool.NumShards(len(algs))),
+		errs:      make([]error, pool.NumShards(len(algs))),
+	}
+	c.fn = c.collectSpan
+	return c
+}
+
+// Collect gathers round's broadcasts, returning the sender count and the
+// first validation error in node order.
+func (c *Collector) Collect(round int) (int64, error) {
+	c.round = round
+	c.pool.Do(len(c.algs), c.fn)
+	var total int64
+	for i := range c.sends {
+		total += c.sends[i]
+	}
+	for _, err := range c.errs {
+		if err != nil {
+			return total, err
 		}
-		return sends, nil
-	})
+	}
+	return total, nil
+}
+
+func (c *Collector) collectSpan(s engine.Span) {
+	var sends int64
+	var firstErr error
+	for v := s.Lo; v < s.Hi; v++ {
+		a := c.algs[v]
+		c.msgs[v] = nil
+		if a.Done() {
+			continue
+		}
+		m := a.Broadcast(c.round)
+		if m == nil {
+			continue
+		}
+		if err := CheckWidth(m, c.msgBits); err != nil {
+			firstErr = fmt.Errorf("%s: node %d round %d: %w", c.errPrefix, v, c.round, err)
+			break // abandon the span, like the serial loop the error aborts
+		}
+		c.msgs[v] = m
+		sends++
+	}
+	c.sends[s.Index], c.errs[s.Index] = sends, firstErr
+}
+
+// CollectBroadcasts is a one-shot Collector round, for callers that don't
+// keep per-run state.
+func CollectBroadcasts(pool *engine.Pool, algs []BroadcastAlgorithm, msgs []Message, msgBits, round int, errPrefix string) (int64, error) {
+	return NewCollector(pool, algs, msgs, msgBits, errPrefix).Collect(round)
 }
 
 // Run initializes and drives the algorithms until all are done or
@@ -212,8 +270,40 @@ func CheckWidth(m Message, msgBits int) error {
 	return nil
 }
 
+// MessagePool is a grow-on-demand pool of reusable message buffers for
+// engines that deliver borrowed inboxes (see BroadcastAlgorithm): buffer
+// i is created on first request and reused round to round.
+type MessagePool struct {
+	bufs [][]byte
+}
+
+// Buf returns the i-th buffer sized to size bytes. Contents are whatever
+// the previous round left; callers overwrite fully (or use PadInto).
+func (p *MessagePool) Buf(i, size int) []byte {
+	for len(p.bufs) <= i {
+		p.bufs = append(p.bufs, make([]byte, size))
+	}
+	if cap(p.bufs[i]) < size {
+		p.bufs[i] = make([]byte, size)
+	}
+	return p.bufs[i][:size]
+}
+
+// PadInto copies m into the i-th buffer, zero-padding the tail to size
+// bytes, and returns the buffer as a Message.
+func (p *MessagePool) PadInto(i, size int, m Message) Message {
+	buf := p.Buf(i, size)
+	n := copy(buf, m)
+	for j := n; j < len(buf); j++ {
+		buf[j] = 0
+	}
+	return buf
+}
+
 // SortMessages puts a message multiset into its canonical (lexicographic)
-// order, the deterministic representation of unattributed delivery.
+// order, the deterministic representation of unattributed delivery. It is
+// allocation-free (slices.SortFunc, unlike sort.Slice, builds no closure
+// state), so it can sit inside the engines' zero-allocation round loops.
 func SortMessages(msgs []Message) {
-	sort.Slice(msgs, func(i, j int) bool { return bytes.Compare(msgs[i], msgs[j]) < 0 })
+	slices.SortFunc(msgs, func(a, b Message) int { return bytes.Compare(a, b) })
 }

@@ -409,6 +409,77 @@ func TestPaperParams(t *testing.T) {
 	}
 }
 
+// fixedAlg broadcasts one preallocated message every round with
+// allocation-free callbacks — the probe for the steady-state allocation
+// test. It never retains its (borrowed) inbox.
+type fixedAlg struct {
+	msg    congest.Message
+	rounds int
+	seen   int
+}
+
+func (a *fixedAlg) Init(congest.Env)               { a.seen = 0 }
+func (a *fixedAlg) Broadcast(int) congest.Message  { return a.msg }
+func (a *fixedAlg) Receive(int, []congest.Message) { a.seen++ }
+func (a *fixedAlg) Done() bool                     { return a.seen >= a.rounds }
+func (a *fixedAlg) Output() any                    { return nil }
+
+// TestRunSteadyStateAllocs: once the runner's lazy buffers are warm, a
+// steady-state simulated round — collect, assign, both radio phases,
+// decode, deliver, score — must perform zero heap allocations beyond the
+// algorithms' own callbacks. Measured by differencing two Run lengths so
+// per-Run setup (Result, env streams, collector) cancels out.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	g, err := graph.RandomRegular(24, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(g.N(), g.MaxDegree(), 8, 0.1)
+	for _, tc := range []struct {
+		name   string
+		mut    func(*Params)
+		filter bool
+	}{
+		{name: "byid", mut: func(*Params) {}},
+		{name: "random-codebook", mut: func(p *Params) { p.Assignment = AssignRandom; p.M = 64 }},
+		{name: "no-solo-filter", mut: func(p *Params) { p.DisableSoloFilter = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pp := p
+			tc.mut(&pp)
+			runner, err := NewBroadcastRunner(g, RunnerConfig{
+				Params: pp, ChannelSeed: 7, AlgSeed: 8, NoisyOwn: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var w wire.Writer
+			w.WriteUint(0xa5, 8)
+			msg := w.PaddedBytes(8)
+			algs := make([]congest.BroadcastAlgorithm, g.N())
+			for v := range algs {
+				algs[v] = &fixedAlg{msg: msg}
+			}
+			run := func(rounds int) float64 {
+				for _, a := range algs {
+					a.(*fixedAlg).rounds = rounds
+				}
+				return testing.AllocsPerRun(5, func() {
+					if _, err := runner.Run(algs, rounds); err != nil {
+						panic(err)
+					}
+				})
+			}
+			run(2) // warm lazy pattern buffers and noise samplers
+			short, long := run(2), run(12)
+			if perRound := (long - short) / 10; perRound > 0 {
+				t.Errorf("steady-state round allocates %.2f times (run(12)=%.1f run(2)=%.1f)",
+					perRound, long, short)
+			}
+		})
+	}
+}
+
 // TestRunnerSerialParallelIdentical: the Algorithm 1 runner's sharded
 // phases (collect, assign, encode, radio, decode) must be bit-identical to
 // the serial run, including transcripts and error counters, under noise

@@ -7,11 +7,20 @@ import (
 	"repro/internal/bitstring"
 	"repro/internal/codes"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // decoder implements the node-local decoding of §4. Everything it uses is
 // information an honest node possesses: the public codes, the parameters,
 // and the bits the node itself heard.
+//
+// The hot path is table-driven and word-parallel: the beep code's PRG
+// hashing is paid once at construction (cached position/offset tables and
+// codeword masks), the Lemma 9 membership test is a popcount sweep
+// (mask ∧ ¬x̃), and the solo masks for a whole decoded member set are
+// built in one pass over blocks. None of this changes any decoded bit —
+// TestPropertyOptimizedMatchesNaive pins the output to a retained naive
+// reference implementation.
 type decoder struct {
 	p    Params
 	code *codes.BlockedBeepCode
@@ -23,13 +32,34 @@ type decoder struct {
 	// passes the full MembershipThreshold test.
 	stageAProbes int
 	stageAThresh int
+	// The stage-A probes are the codeword's 1s in the first stageAProbes
+	// blocks, i.e. its mask bits within the first stageABits positions —
+	// so when that prefix is word-dense enough, the probe count runs as a
+	// word-parallel prefix sweep instead of stageAProbes scalar probes.
+	// Both compute the identical count; stageAWordSweep picks the cheaper.
+	stageABits      int
+	stageAWordSweep bool
+
+	theta    int // MembershipThreshold, cached
+	msgBytes int // ⌈MsgBits/8⌉
+
+	// useBuckets selects how solo masks find offset collisions among the
+	// decoded members: walking the code's (block, offset) collision
+	// buckets, or a counting pass over the members' offset rows
+	// (O(members·W) total for every mask at once). Both produce identical
+	// masks (the property tests cover each); benchmarks favor the
+	// counting pass even where buckets average under two entries — the
+	// CSR double-indexing costs more than the three sequential row
+	// passes — so production decoding keeps useBuckets off and the bucket
+	// walk remains as the collision-table reference path.
+	useBuckets bool
 }
 
 func newDecoder(p Params) (*decoder, error) {
 	if p.W() < 4 {
 		return nil, fmt.Errorf("core: W = R·MsgBits = %d too small (need ≥ 4)", p.W())
 	}
-	code, err := codes.NewBlockedBeepCode(p.W(), p.BlockSize(), p.M, rng.Mix(p.Seed, 0xc0de))
+	code, err := codes.SharedBlockedBeepCode(p.W(), p.BlockSize(), p.M, rng.Mix(p.Seed, 0xc0de))
 	if err != nil {
 		return nil, err
 	}
@@ -47,95 +77,182 @@ func newDecoder(p Params) (*decoder, error) {
 	if frac > 0.95 {
 		frac = 0.95
 	}
+	stageABits := probes * p.BlockSize()
 	return &decoder{
 		p:            p,
 		code:         code,
 		dist:         dist,
 		stageAProbes: probes,
 		stageAThresh: int(math.Ceil(frac * float64(probes))),
+		stageABits:   stageABits,
+		// The prefix sweep touches stageABits/64 words; the scalar path
+		// touches stageAProbes random positions. Prefer the sweep until
+		// blocks get so wide that the prefix outweighs the probes.
+		stageAWordSweep: stageABits/64 <= 4*probes,
+		theta:           p.MembershipThreshold(),
+		msgBytes:        (p.MsgBits + 7) / 8,
+		useBuckets:      false, // counting pass wins in benchmarks; see field doc
 	}, nil
+}
+
+// decodeScratch holds a decoder's per-worker mutable state, so that
+// steady-state decoding allocates nothing. Each concurrent decode needs
+// its own scratch (the runner keeps one per execution-pool shard); the
+// decoder itself stays read-only and shareable.
+type decodeScratch struct {
+	members []int
+	rows    [][]int32              // offset row per member
+	solos   []*bitstring.BitString // W-bit solo mask per member
+	obs     *bitstring.BitString   // W-bit phase-2 gather
+	counts  []int32                // per-offset occupancy (counting path), len BlockSize
+	stamp   []int32                // member stamps indexed by codeword (bucket path), len M
+	gen     int32
+}
+
+func (d *decoder) newScratch() *decodeScratch {
+	sc := &decodeScratch{obs: bitstring.New(d.p.W())}
+	if d.useBuckets {
+		sc.stamp = make([]int32, d.p.M)
+	} else {
+		sc.counts = make([]int32, d.p.BlockSize())
+	}
+	return sc
+}
+
+// ensureMembers sizes the per-member scratch rows for k members.
+func (sc *decodeScratch) ensureMembers(k, w int) {
+	for len(sc.solos) < k {
+		sc.solos = append(sc.solos, bitstring.New(w))
+	}
+	if cap(sc.rows) < k {
+		sc.rows = make([][]int32, k)
+	}
+	sc.rows = sc.rows[:k]
 }
 
 // members returns R̃: every codeword cw whose positions are consistent
 // with presence in the heard superimposition x — fewer than θ of its W
-// positions read 0 (the Lemma 9 test with θ = (2ε+1)/4·W).
-func (d *decoder) members(x *bitstring.BitString) []int {
-	theta := d.p.MembershipThreshold()
-	var out []int
+// positions read 0 (the Lemma 9 test with θ = (2ε+1)/4·W). The result is
+// appended to out[:0] (callers pass a reused slice; nil allocates).
+func (d *decoder) members(x *bitstring.BitString, out []int) []int {
+	out = out[:0]
 	for cw := 0; cw < d.p.M; cw++ {
-		misses := 0
-		for j := 0; j < d.stageAProbes; j++ {
-			if !x.Get(d.code.Position(cw, j)) {
-				misses++
+		mask := d.code.Mask(cw)
+		if d.stageAWordSweep {
+			if mask.AndNotCountPrefixLimit(x, d.stageABits, d.stageAThresh) >= d.stageAThresh {
+				continue
+			}
+		} else {
+			probes := d.code.PositionRow(cw)[:d.stageAProbes]
+			if x.CountZerosAtLimit(probes, d.stageAThresh) >= d.stageAThresh {
+				continue
 			}
 		}
-		if misses >= d.stageAThresh {
-			continue
-		}
-		misses = 0
-		for j := 0; j < d.p.W(); j++ {
-			if !x.Get(d.code.Position(cw, j)) {
-				misses++
-				if misses >= theta {
-					break
-				}
-			}
-		}
-		if misses < theta {
+		if mask.AndNotCountLimit(x, d.theta) < d.theta {
 			out = append(out, cw)
 		}
 	}
 	return out
 }
 
-// soloMask returns, for target codeword t, the blocks in which no other
-// member codeword (the listener's own included) shares t's offset — the
-// positions where the §4 analysis guarantees the listener hears only t's
-// transmission plus channel noise.
-func (d *decoder) soloMask(t int, members []int) *bitstring.BitString {
+// soloMasks fills sc.solos[i], for each decoded member i, with the blocks
+// in which no other member codeword (the listener's own included) shares
+// member i's offset — the positions where the §4 analysis guarantees the
+// listener hears only that member's transmission plus channel noise.
+// All masks are built in one pass; sc.solos[i] is valid until the next
+// soloMasks call on the same scratch.
+func (d *decoder) soloMasks(members []int, sc *decodeScratch) {
 	w := d.p.W()
-	solo := bitstring.New(w).Not()
-	for _, s := range members {
-		if s == t {
-			continue
+	sc.ensureMembers(len(members), w)
+	for i := range members {
+		sc.solos[i].SetAll()
+	}
+	if len(members) < 2 {
+		return
+	}
+	if d.useBuckets {
+		d.soloMasksBuckets(members, sc)
+		return
+	}
+	for i, cw := range members {
+		sc.rows[i] = d.code.OffsetRow(cw)
+	}
+	rows, counts := sc.rows, sc.counts
+	for j := 0; j < w; j++ {
+		for i := range members {
+			counts[rows[i][j]]++
 		}
+		for i := range members {
+			if counts[rows[i][j]] > 1 {
+				sc.solos[i].ClearBit(j)
+			}
+		}
+		for i := range members {
+			counts[rows[i][j]] = 0
+		}
+	}
+}
+
+// soloMasksBuckets is the collision-table variant of soloMasks: member i
+// loses block j iff the (j, offset) bucket holds another stamped member.
+func (d *decoder) soloMasksBuckets(members []int, sc *decodeScratch) {
+	sc.gen++
+	if sc.gen <= 0 { // overflow: invalidate every stamp and restart
+		for i := range sc.stamp {
+			sc.stamp[i] = 0 // 0 is never a generation (gen starts at 1)
+		}
+		sc.gen = 1
+	}
+	for _, cw := range members {
+		sc.stamp[cw] = sc.gen
+	}
+	w := d.p.W()
+	for i, cw := range members {
+		row := d.code.OffsetRow(cw)
+		solo := sc.solos[i]
 		for j := 0; j < w; j++ {
-			if d.code.Offset(s, j) == d.code.Offset(t, j) {
-				solo.ClearBit(j)
+			for _, other := range d.code.Bucket(j, int(row[j])) {
+				if int(other) != cw && sc.stamp[other] == sc.gen {
+					solo.ClearBit(j)
+					break
+				}
 			}
 		}
 	}
-	return solo
 }
 
 // decodeMessage recovers the message carried by codeword t from the
 // phase-2 observation y: it reads the paper's ỹ_{v,w} (the bits of y at
-// t's positions) and runs the distance-code decoder with the solo mask.
-func (d *decoder) decodeMessage(t int, y *bitstring.BitString, solo *bitstring.BitString) []byte {
-	w := d.p.W()
-	obs := bitstring.New(w)
-	for j := 0; j < w; j++ {
-		if y.Get(d.code.Position(t, j)) {
-			obs.Set(j)
-		}
-	}
-	return d.dist.Decode(obs, solo)
+// t's positions) and runs the distance-code decoder with the solo mask,
+// writing into out (which must hold ⌈MsgBits/8⌉ bytes).
+func (d *decoder) decodeMessage(t int, y, solo *bitstring.BitString, sc *decodeScratch, out []byte) []byte {
+	y.GatherInto(sc.obs, d.code.PositionRow(t))
+	return d.dist.DecodeInto(sc.obs, solo, out)
 }
 
-// encodePhase1 materializes C(cw) as a beep pattern.
+// encodePhase1 returns C(cw) as a beep pattern — the cached codeword
+// mask, shared and read-only.
 func (d *decoder) encodePhase1(cw int) *bitstring.BitString {
-	return d.code.Codeword(cw)
+	return d.code.Mask(cw)
 }
 
-// encodePhase2 materializes CD(cw, msg) (Notation 7): D(msg) written into
-// C(cw)'s one-positions.
-func (d *decoder) encodePhase2(cw int, msg []byte) *bitstring.BitString {
-	enc := d.dist.Encode(msg)
-	out := bitstring.New(d.code.Length())
-	for j := 0; j < d.p.W(); j++ {
-		if enc.Get(j) {
-			out.Set(d.code.Position(cw, j))
+// encodePhase2Into writes CD(cw, msg) (Notation 7) into out: D(msg)
+// scattered into C(cw)'s one-positions, fused through the distance code's
+// permutation table so no intermediate codeword is materialized. out must
+// have the code's full length.
+func (d *decoder) encodePhase2Into(cw int, msg []byte, out *bitstring.BitString) {
+	out.Reset()
+	positions := d.code.PositionRow(cw)
+	for j, pos := range positions {
+		if wire.Bit(msg, d.dist.BitFor(j)) {
+			out.Set(int(pos))
 		}
 	}
+}
+
+// encodePhase2 is encodePhase2Into with a freshly allocated pattern.
+func (d *decoder) encodePhase2(cw int, msg []byte) *bitstring.BitString {
+	out := bitstring.New(d.code.Length())
+	d.encodePhase2Into(cw, msg, out)
 	return out
 }

@@ -1,0 +1,226 @@
+package core
+
+// The naive reference decoder: the pre-optimization §4 decoding logic,
+// kept verbatim as executable documentation. It derives every codeword
+// position from the PRG definition (codes.BlockedBeepCode.HashOffset) and
+// materializes observations bit by bit, so it shares none of the
+// optimized path's tables, masks, or scratch. The property tests below
+// pit the two against each other across randomized parameterizations —
+// the PR's "bit-identical outputs" acceptance gate.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstring"
+	"repro/internal/rng"
+)
+
+// refPosition recomputes Position(cw, j) from the hash definition.
+func refPosition(d *decoder, cw, j int) int {
+	return j*d.p.BlockSize() + d.code.HashOffset(cw, j)
+}
+
+// refMembers is the pre-refactor members loop: stage-A prefix probes,
+// then per-position misses counted against θ with early exit.
+func refMembers(d *decoder, x *bitstring.BitString) []int {
+	theta := d.p.MembershipThreshold()
+	var out []int
+	for cw := 0; cw < d.p.M; cw++ {
+		misses := 0
+		for j := 0; j < d.stageAProbes; j++ {
+			if !x.Get(refPosition(d, cw, j)) {
+				misses++
+			}
+		}
+		if misses >= d.stageAThresh {
+			continue
+		}
+		misses = 0
+		for j := 0; j < d.p.W(); j++ {
+			if !x.Get(refPosition(d, cw, j)) {
+				misses++
+				if misses >= theta {
+					break
+				}
+			}
+		}
+		if misses < theta {
+			out = append(out, cw)
+		}
+	}
+	return out
+}
+
+// refSoloMask is the pre-refactor per-target solo mask: a full pairwise
+// offset scan over the member set.
+func refSoloMask(d *decoder, t int, members []int) *bitstring.BitString {
+	w := d.p.W()
+	solo := bitstring.New(w).Not()
+	for _, s := range members {
+		if s == t {
+			continue
+		}
+		for j := 0; j < w; j++ {
+			if d.code.HashOffset(s, j) == d.code.HashOffset(t, j) {
+				solo.ClearBit(j)
+			}
+		}
+	}
+	return solo
+}
+
+// refDecodeMessage is the pre-refactor phase-2 decode: a bit-by-bit ỹ
+// gather followed by the allocating distance-code decoder.
+func refDecodeMessage(d *decoder, t int, y, solo *bitstring.BitString) []byte {
+	w := d.p.W()
+	obs := bitstring.New(w)
+	for j := 0; j < w; j++ {
+		if y.Get(refPosition(d, t, j)) {
+			obs.Set(j)
+		}
+	}
+	return d.dist.Decode(obs, solo)
+}
+
+// randomDecoderParams draws a small but varied parameterization; M swings
+// from "a handful" to "much larger than a block".
+func randomDecoderParams(r *rng.Stream) Params {
+	p := Params{
+		MsgBits:    4 + r.Intn(6),
+		K:          3 + r.Intn(5),
+		C:          2 + r.Intn(4),
+		R:          5 + 2*r.Intn(5),
+		M:          2 + r.Intn(96),
+		Epsilon:    float64(r.Intn(4)) * 0.08,
+		Assignment: AssignRandom,
+		Seed:       r.Uint64(),
+	}
+	if r.Bool(0.5) {
+		p.Assignment = AssignByID
+	}
+	return p
+}
+
+// TestPropertyOptimizedMatchesNaive: on arbitrary (not even codeword-
+// shaped) noisy observations, the optimized decoder must reproduce the
+// naive reference bit for bit: same member set, same solo masks (by both
+// the counting pass and the collision-bucket walk), same decoded
+// messages.
+func TestPropertyOptimizedMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := randomDecoderParams(r)
+		d, err := newDecoder(p)
+		if err != nil {
+			return true // invalid draw; skip
+		}
+
+		// Observations: superimpose a random member set, then corrupt at ε
+		// (plus occasional pure-garbage x to stress the filters).
+		count := 1 + r.Intn(p.K)
+		if count > p.M {
+			count = p.M
+		}
+		trueMembers := r.SampleDistinct(p.M, count)
+		x := bitstring.New(p.PhaseLength())
+		y := bitstring.New(p.PhaseLength())
+		for _, cw := range trueMembers {
+			x.OrInPlace(d.code.Mask(cw))
+			msg := make([]byte, d.msgBytes)
+			for b := range msg {
+				msg[b] = byte(r.Intn(256))
+			}
+			y.OrInPlace(d.encodePhase2(cw, msg))
+		}
+		for _, s := range []*bitstring.BitString{x, y} {
+			fs := rng.NewFlipSampler(r, 0.02+p.Epsilon)
+			for {
+				pos, ok := fs.Next(s.Len())
+				if !ok {
+					break
+				}
+				s.Flip(pos)
+			}
+		}
+
+		members := d.members(x, nil)
+		wantMembers := refMembers(d, x)
+		if !equalInts(members, wantMembers) {
+			t.Logf("seed %d: members %v, want %v", seed, members, wantMembers)
+			return false
+		}
+		if len(members) == 0 {
+			return true
+		}
+		sc := d.newScratch()
+		d.soloMasks(members, sc)
+		db := *d
+		db.useBuckets = true
+		scb := db.newScratch()
+		db.soloMasks(members, scb)
+		out := make([]byte, d.msgBytes)
+		for i, cw := range members {
+			wantSolo := refSoloMask(d, cw, members)
+			if !sc.solos[i].Equal(wantSolo) {
+				t.Logf("seed %d: counting solo mask of %d differs", seed, cw)
+				return false
+			}
+			if !scb.solos[i].Equal(wantSolo) {
+				t.Logf("seed %d: bucket solo mask of %d differs", seed, cw)
+				return false
+			}
+			got := d.decodeMessage(cw, y, sc.solos[i], sc, out)
+			want := refDecodeMessage(d, cw, y, wantSolo)
+			if len(got) != len(want) {
+				return false
+			}
+			for b := range got {
+				if got[b] != want[b] {
+					t.Logf("seed %d: message of %d decodes %x, want %x", seed, cw, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScratchReuseIsStateless: decoding a saturated observation and then
+// a small one on the same scratch must give the same answers as a fresh
+// scratch — no state may leak between decodes.
+func TestScratchReuseIsStateless(t *testing.T) {
+	p := testParams()
+	d, err := newDecoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturated := bitstring.New(p.PhaseLength()).Not()
+	small := bitstring.New(p.PhaseLength())
+	for _, cw := range []int{5, 12} {
+		small.OrInPlace(d.code.Mask(cw))
+	}
+	sc := d.newScratch()
+	for trial := 0; trial < 3; trial++ {
+		all := d.members(saturated, sc.members)
+		sc.members = all
+		if len(all) != p.M {
+			t.Fatalf("trial %d: saturated decode found %d members", trial, len(all))
+		}
+		d.soloMasks(all, sc)
+		few := d.members(small, sc.members)
+		sc.members = few
+		if len(few) != 2 || few[0] != 5 || few[1] != 12 {
+			t.Fatalf("trial %d: small decode %v", trial, few)
+		}
+		d.soloMasks(few, sc)
+		for i, cw := range few {
+			if want := refSoloMask(d, cw, few); !sc.solos[i].Equal(want) {
+				t.Fatalf("trial %d: reused scratch solo mask of %d differs", trial, cw)
+			}
+		}
+	}
+}

@@ -9,6 +9,30 @@ import (
 	"repro/internal/wire"
 )
 
+// Test conveniences over the scratch-based decoder API: allocate a fresh
+// scratch per call so assertions stay independent.
+
+func (d *decoder) membersAlloc(x *bitstring.BitString) []int {
+	return d.members(x, nil)
+}
+
+// soloMaskFor returns target t's solo mask within members (t must be a
+// member, as in the runner's decode loop).
+func (d *decoder) soloMaskFor(t int, members []int) *bitstring.BitString {
+	sc := d.newScratch()
+	d.soloMasks(members, sc)
+	for i, cw := range members {
+		if cw == t {
+			return sc.solos[i].Clone()
+		}
+	}
+	panic("soloMaskFor: target not a member")
+}
+
+func (d *decoder) decodeMessageAlloc(t int, y, solo *bitstring.BitString) []byte {
+	return d.decodeMessage(t, y, solo, d.newScratch(), make([]byte, d.msgBytes))
+}
+
 func testParams() Params {
 	return Params{
 		MsgBits:    8,
@@ -43,7 +67,7 @@ func TestMembersCleanChannel(t *testing.T) {
 	for _, cw := range members {
 		x.OrInPlace(d.encodePhase1(cw))
 	}
-	got := d.members(x)
+	got := d.membersAlloc(x)
 	if len(got) != len(members) {
 		t.Fatalf("decoded %v, want %v", got, members)
 	}
@@ -76,7 +100,7 @@ func TestMembersUnderNoise(t *testing.T) {
 			}
 			x.Flip(pos)
 		}
-		got := d.members(x)
+		got := d.membersAlloc(x)
 		if len(got) != len(members) {
 			t.Fatalf("trial %d: decoded %v, want %v", trial, got, members)
 		}
@@ -97,7 +121,7 @@ func TestMembersEmptyOnSilence(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := bitstring.New(p.PhaseLength())
-	if got := d.members(x); len(got) != 0 {
+	if got := d.membersAlloc(x); len(got) != 0 {
 		t.Errorf("silence decoded as %v", got)
 	}
 	// Pure noise at ε.
@@ -109,7 +133,7 @@ func TestMembersEmptyOnSilence(t *testing.T) {
 		}
 		x.Set(pos)
 	}
-	if got := d.members(x); len(got) != 0 {
+	if got := d.membersAlloc(x); len(got) != 0 {
 		t.Errorf("pure noise decoded as %v", got)
 	}
 }
@@ -124,7 +148,7 @@ func TestMembersAdversarialSaturation(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := bitstring.New(p.PhaseLength()).Not()
-	if got := d.members(x); len(got) != p.M {
+	if got := d.membersAlloc(x); len(got) != p.M {
 		t.Errorf("saturated channel decoded %d members, want all %d", len(got), p.M)
 	}
 }
@@ -139,7 +163,7 @@ func TestSoloMaskMatchesBruteForce(t *testing.T) {
 	}
 	members := []int{2, 9, 14, 31, 38}
 	for _, target := range members {
-		solo := d.soloMask(target, members)
+		solo := d.soloMaskFor(target, members)
 		for j := 0; j < p.W(); j++ {
 			collides := false
 			for _, s := range members {
@@ -172,8 +196,8 @@ func TestPhase2RoundTrip(t *testing.T) {
 		y.OrInPlace(d.encodePhase2(cw, w.PaddedBytes(p.MsgBits)))
 	}
 	for _, cw := range members {
-		solo := d.soloMask(cw, members)
-		got := d.decodeMessage(cw, y, solo)
+		solo := d.soloMaskFor(cw, members)
+		got := d.decodeMessageAlloc(cw, y, solo)
 		want := encodeMsg8(msgs[cw])
 		if !wire.Equal(got, want, 8) {
 			t.Errorf("codeword %d: decoded %x, want %x", cw, got, want)
@@ -209,8 +233,8 @@ func TestPhase2RoundTripUnderNoise(t *testing.T) {
 			y.Flip(pos)
 		}
 		for _, cw := range members {
-			solo := d.soloMask(cw, members)
-			got := d.decodeMessage(cw, y, solo)
+			solo := d.soloMaskFor(cw, members)
+			got := d.decodeMessageAlloc(cw, y, solo)
 			if !wire.Equal(got, encodeMsg8(msgs[cw]), 8) {
 				t.Fatalf("trial %d codeword %d: decoded %x, want %x", trial, cw, got, msgs[cw])
 			}
@@ -259,7 +283,7 @@ func TestPropertyDecoderPipelineFuzz(t *testing.T) {
 			x.OrInPlace(d.encodePhase1(cw))
 			y.OrInPlace(d.encodePhase2(cw, m))
 		}
-		got := d.members(x)
+		got := d.membersAlloc(x)
 		if len(got) != len(members) {
 			return false
 		}
@@ -269,8 +293,8 @@ func TestPropertyDecoderPipelineFuzz(t *testing.T) {
 			}
 		}
 		for _, cw := range members {
-			solo := d.soloMask(cw, got)
-			if !wire.Equal(d.decodeMessage(cw, y, solo), msgs[cw], p.MsgBits) {
+			solo := d.soloMaskFor(cw, got)
+			if !wire.Equal(d.decodeMessageAlloc(cw, y, solo), msgs[cw], p.MsgBits) {
 				return false
 			}
 		}

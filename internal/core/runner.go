@@ -3,7 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/beep"
 	"repro/internal/bitstring"
@@ -71,6 +71,12 @@ type Result struct {
 
 // BroadcastRunner simulates Broadcast CONGEST algorithms over a noisy
 // beeping network using Algorithm 1.
+//
+// The runner owns all per-round buffers — beep patterns, phase
+// receptions, and per-shard decode/score scratch — so a steady-state
+// simulated round performs no heap allocations outside the algorithms'
+// own callbacks (TestRunSteadyStateAllocs). Inboxes passed to
+// Receive are borrowed per the congest.BroadcastAlgorithm contract.
 type BroadcastRunner struct {
 	g   *graph.Graph
 	cfg RunnerConfig
@@ -78,6 +84,28 @@ type BroadcastRunner struct {
 	nw  *beep.Network
 
 	cwStreams []*rng.Stream
+
+	// Reused per-round buffers. patterns/xs/ys are sized at construction;
+	// phase2Buf entries are created lazily (first round a node transmits);
+	// scratch is per execution-pool shard.
+	soloAll   *bitstring.BitString // all-ones W mask (DisableSoloFilter)
+	patterns  []*bitstring.BitString
+	xs, ys    []*bitstring.BitString
+	phase2Buf []*bitstring.BitString
+	scratch   []*shardScratch
+}
+
+// shardScratch is one execution-pool shard's decode/deliver/score state.
+// Inbox message buffers are reused round to round — deliveries are
+// borrowed, never retained (see congest.BroadcastAlgorithm).
+type shardScratch struct {
+	dec       *decodeScratch
+	inbox     []congest.Message
+	msgPool   congest.MessagePool
+	trueSet   []int
+	got       []int
+	truth     []congest.Message
+	truthPool congest.MessagePool
 }
 
 // NewBroadcastRunner builds a runner for g. If cfg.Params is the zero
@@ -109,9 +137,30 @@ func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, err
 	if err != nil {
 		return nil, err
 	}
-	r := &BroadcastRunner{g: g, cfg: cfg, dec: dec, nw: nw}
+	n := g.N()
+	b := cfg.Params.PhaseLength()
+	r := &BroadcastRunner{
+		g:         g,
+		cfg:       cfg,
+		dec:       dec,
+		nw:        nw,
+		soloAll:   bitstring.New(cfg.Params.W()).Not(),
+		patterns:  make([]*bitstring.BitString, n),
+		xs:        make([]*bitstring.BitString, n),
+		ys:        make([]*bitstring.BitString, n),
+		phase2Buf: make([]*bitstring.BitString, n),
+	}
+	for v := 0; v < n; v++ {
+		r.xs[v] = bitstring.New(b)
+		r.ys[v] = bitstring.New(b)
+	}
+	numShards := nw.Pool().NumShards(n)
+	r.scratch = make([]*shardScratch, numShards)
+	for i := range r.scratch {
+		r.scratch[i] = &shardScratch{dec: dec.newScratch()}
+	}
 	if cfg.Params.Assignment == AssignRandom {
-		r.cwStreams = make([]*rng.Stream, g.N())
+		r.cwStreams = make([]*rng.Stream, n)
 		for v := range r.cwStreams {
 			r.cwStreams[v] = rng.New(cfg.ChannelSeed).Split(0x637721, uint64(v)) // "cw"
 		}
@@ -144,8 +193,9 @@ func (r *BroadcastRunner) Env(v int) congest.Env {
 //
 // The broadcast-collection, codeword-encoding, and decode/deliver phases
 // run span-parallel on the beep network's worker pool (RunnerConfig's
-// Workers/Shards): every phase writes only per-node slots and the decoder
-// tables are read-only, so results are bit-identical to a serial run.
+// Workers/Shards): every phase writes only per-node slots, the decoder
+// tables are read-only, and each shard decodes on its own scratch, so
+// results are bit-identical to a serial run.
 func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*Result, error) {
 	n := r.g.N()
 	if len(algs) != n {
@@ -160,11 +210,98 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 	msgs := make([]congest.Message, n)
 	cw := make([]int, n)
 	scores := make([]ScoreDelta, pool.NumShards(n))
+	collector := congest.NewCollector(pool, algs, msgs, p.MsgBits, "core")
 	done := func(v int) bool { return algs[v].Done() }
+
+	// The per-phase span callbacks are built once, before the round loop,
+	// so rounds create no closures; curRound carries the loop variable
+	// into the decode phase.
+	curRound := 0
+
+	// Codeword assignment (Algorithm 1 line 1). Each node draws from its
+	// private stream, so the phase is span-safe.
+	assignPhase := func(s engine.Span) {
+		for v := s.Lo; v < s.Hi; v++ {
+			cw[v] = -1
+			if msgs[v] == nil {
+				continue
+			}
+			switch p.Assignment {
+			case AssignByID:
+				cw[v] = v
+			case AssignRandom:
+				cw[v] = r.cwStreams[v].Intn(p.M)
+			}
+		}
+	}
+
+	// Phase 1: beep C(r_v). The patterns are the decoder's cached
+	// codeword masks — shared read-only, nothing materialized.
+	phase1 := func(s engine.Span) {
+		for v := s.Lo; v < s.Hi; v++ {
+			r.patterns[v] = nil
+			if cw[v] >= 0 {
+				r.patterns[v] = r.dec.encodePhase1(cw[v])
+			}
+		}
+	}
+
+	// Phase 2: beep CD(r_v, m_v), encoded into the node's reusable
+	// pattern buffer (created the first round it transmits).
+	phase2 := func(s engine.Span) {
+		for v := s.Lo; v < s.Hi; v++ {
+			r.patterns[v] = nil
+			if cw[v] >= 0 {
+				if r.phase2Buf[v] == nil {
+					r.phase2Buf[v] = bitstring.New(p.PhaseLength())
+				}
+				r.dec.encodePhase2Into(cw[v], msgs[v], r.phase2Buf[v])
+				r.patterns[v] = r.phase2Buf[v]
+			}
+		}
+	}
+
+	// Decode and deliver, on per-shard scratch. Scoring accumulates per
+	// span and is summed in span order so counters match the serial run
+	// exactly.
+	decodePhase := func(s engine.Span) {
+		sc := r.scratch[s.Index]
+		scores[s.Index] = ScoreDelta{}
+		for v := s.Lo; v < s.Hi; v++ {
+			a := algs[v]
+			if a.Done() {
+				continue
+			}
+			decoded := r.dec.members(r.xs[v], sc.dec.members)
+			sc.dec.members = decoded
+			if !p.DisableSoloFilter {
+				r.dec.soloMasks(decoded, sc.dec)
+			}
+			inbox := sc.inbox[:0]
+			for i, t := range decoded {
+				if cw[v] >= 0 && t == cw[v] {
+					continue // own transmission
+				}
+				solo := r.soloAll
+				if !p.DisableSoloFilter {
+					solo = sc.dec.solos[i]
+				}
+				buf := sc.msgPool.Buf(len(inbox), r.dec.msgBytes)
+				inbox = append(inbox, r.dec.decodeMessage(t, r.ys[v], solo, sc.dec, buf))
+			}
+			congest.SortMessages(inbox)
+
+			r.score(sc, &scores[s.Index], v, cw, msgs, decoded, inbox)
+			a.Receive(curRound, inbox)
+			sc.inbox = inbox[:0]
+		}
+	}
+
 	simRounds, allDone, err := pool.Loop(n, maxSimRounds, done, func(round int) error {
+		curRound = round
 		// Collect the round's broadcasts; nil means the node stays silent
 		// and only listens.
-		senders, err := congest.CollectBroadcasts(pool, algs, msgs, p.MsgBits, round, "core")
+		senders, err := collector.Collect(round)
 		if err != nil {
 			return err
 		}
@@ -180,81 +317,18 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 			return nil
 		}
 
-		// Codeword assignment (Algorithm 1 line 1). Each node draws from
-		// its private stream, so the phase is span-safe.
-		pool.Do(n, func(s engine.Span) {
-			for v := s.Lo; v < s.Hi; v++ {
-				cw[v] = -1
-				if msgs[v] == nil {
-					continue
-				}
-				switch p.Assignment {
-				case AssignByID:
-					cw[v] = v
-				case AssignRandom:
-					cw[v] = r.cwStreams[v].Intn(p.M)
-				}
-			}
-		})
-
-		// Phase 1: beep C(r_v).
-		patterns := make([]*bitstring.BitString, n)
-		pool.Do(n, func(s engine.Span) {
-			for v := s.Lo; v < s.Hi; v++ {
-				if cw[v] >= 0 {
-					patterns[v] = r.dec.encodePhase1(cw[v])
-				}
-			}
-		})
-		xs, err := r.nw.RunPhase(patterns)
-		if err != nil {
+		pool.Do(n, assignPhase)
+		pool.Do(n, phase1)
+		if err := r.nw.RunPhaseInto(r.patterns, r.xs); err != nil {
 			return err
 		}
-
-		// Phase 2: beep CD(r_v, m_v).
-		pool.Do(n, func(s engine.Span) {
-			for v := s.Lo; v < s.Hi; v++ {
-				patterns[v] = nil
-				if cw[v] >= 0 {
-					patterns[v] = r.dec.encodePhase2(cw[v], msgs[v])
-				}
-			}
-		})
-		ys, err := r.nw.RunPhase(patterns)
-		if err != nil {
+		pool.Do(n, phase2)
+		if err := r.nw.RunPhaseInto(r.patterns, r.ys); err != nil {
 			return err
 		}
 		res.BeepRounds += p.RoundsPerSimRound()
 
-		// Decode and deliver. Scoring accumulates per span and is summed
-		// in span order so counters match the serial run exactly.
-		pool.Do(n, func(s engine.Span) {
-			scores[s.Index] = ScoreDelta{}
-			for v := s.Lo; v < s.Hi; v++ {
-				a := algs[v]
-				if a.Done() {
-					continue
-				}
-				decoded := r.dec.members(xs[v])
-				inbox := make([]congest.Message, 0, len(decoded))
-				for _, t := range decoded {
-					if cw[v] >= 0 && t == cw[v] {
-						continue // own transmission
-					}
-					var solo *bitstring.BitString
-					if p.DisableSoloFilter {
-						solo = bitstring.New(p.W()).Not()
-					} else {
-						solo = r.dec.soloMask(t, decoded)
-					}
-					inbox = append(inbox, r.dec.decodeMessage(t, ys[v], solo))
-				}
-				congest.SortMessages(inbox)
-
-				r.score(&scores[s.Index], v, cw, msgs, decoded, inbox)
-				a.Receive(round, inbox)
-			}
-		})
+		pool.Do(n, decodePhase)
 		res.AddScores(scores)
 		return nil
 	})
@@ -289,23 +363,23 @@ func (r *Result) AddScores(deltas []ScoreDelta) {
 
 // score compares node v's decoding against ground truth, updating error
 // counters. Ground truth is runner-level bookkeeping only — nothing here
-// feeds back into the simulation.
-func (r *BroadcastRunner) score(d *ScoreDelta, v int, cw []int, msgs []congest.Message, decoded []int, inbox []congest.Message) {
-	var trueSet []int
-	var truth []congest.Message
+// feeds back into the simulation. It builds the truth multiset on the
+// shard's reusable buffers.
+func (r *BroadcastRunner) score(sc *shardScratch, d *ScoreDelta, v int, cw []int, msgs []congest.Message, decoded []int, inbox []congest.Message) {
+	trueSet := sc.trueSet[:0]
+	truth := sc.truth[:0]
 	for _, u := range r.g.Row(v) {
 		if cw[u] >= 0 {
 			trueSet = append(trueSet, cw[u])
-			truth = append(truth, padTo(msgs[u], r.cfg.Params.MsgBits))
+			truth = append(truth, sc.truthPool.PadInto(len(truth), r.dec.msgBytes, msgs[u]))
 		}
 	}
 	if cw[v] >= 0 {
 		trueSet = append(trueSet, cw[v]) // own codeword is part of x_v
 	}
-	sort.Ints(trueSet)
-	got := make([]int, 0, len(decoded))
-	got = append(got, decoded...)
-	sort.Ints(got)
+	slices.Sort(trueSet)
+	got := append(sc.got[:0], decoded...)
+	slices.Sort(got)
 	if !equalInts(trueSet, got) {
 		d.Membership++
 	}
@@ -313,12 +387,7 @@ func (r *BroadcastRunner) score(d *ScoreDelta, v int, cw []int, msgs []congest.M
 	if !equalMessages(truth, inbox) {
 		d.Message++
 	}
-}
-
-func padTo(m congest.Message, bits int) congest.Message {
-	out := make(congest.Message, (bits+7)/8)
-	copy(out, m)
-	return out
+	sc.trueSet, sc.got, sc.truth = trueSet, got, truth
 }
 
 func equalInts(a, b []int) bool {

@@ -136,7 +136,7 @@ func TestValidate(t *testing.T) {
 		{},
 		{Family: "nope", N: 8, Param: 2, Engine: EngineAlg1, Workload: WorkloadGossip, Rounds: 1},
 		{Family: FamilyRegular, N: 1, Param: 2, Engine: EngineAlg1, Workload: WorkloadGossip, Rounds: 1},
-		{Family: FamilyPG, Param: 3, N: 26, Engine: EngineAlg1, Workload: WorkloadGossip, Rounds: 1},   // N must be 0 (derived)
+		{Family: FamilyPG, Param: 3, N: 26, Engine: EngineAlg1, Workload: WorkloadGossip, Rounds: 1},     // N must be 0 (derived)
 		{Family: FamilyRegular, N: 8, Param: 2, Engine: EngineBeep, Workload: WorkloadGossip, Rounds: 1}, // beep ∌ gossip
 		{Family: FamilyRegular, N: 8, Param: 2, Engine: EngineAlg1, Workload: WorkloadGossip},            // Rounds 0
 		{Family: FamilyRegular, N: 8, Param: 2, Engine: EngineAlg1, Workload: WorkloadMIS, Rounds: 3},    // mis sets Rounds 0
