@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/localbroadcast"
 	"repro/internal/rng"
+	"repro/internal/sweep"
 	"repro/internal/wire"
 )
 
@@ -604,5 +605,34 @@ func BenchmarkRunPhase10k(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweepGrid64 measures the 64-scenario sweep grid end to end —
+// n{32,64} × Δ{4,8} × ε{0.1,0.2} × {alg1,tdma} × 4 replicates through
+// the batch scheduler against a fresh in-memory store, with the
+// per-batch artifact cache sharing graphs and code tables across
+// scenarios. This is the batch wall-time figure the PR 4 cache and
+// hot-path work target (BENCH_PR4.json).
+func BenchmarkSweepGrid64(b *testing.B) {
+	scs, err := sweep.Grid{
+		Families:   []string{sweep.FamilyRegular},
+		Ns:         []int{32, 64},
+		Params:     []int{4, 8},
+		Epsilons:   []float64{0.1, 0.2},
+		Engines:    []string{sweep.EngineAlg1, sweep.EngineTDMA},
+		Workloads:  []string{sweep.WorkloadGossip},
+		Rounds:     3,
+		Replicates: 4,
+		BaseSeed:   2023,
+	}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sweep.Run(scs, sweep.NewMemStore(), sweep.Options{Jobs: 4}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,12 +1,14 @@
 // Command beepsim runs a single scenario: a chosen algorithm on a chosen
 // topology, either natively in Broadcast CONGEST or simulated over the
 // noisy beeping model with Algorithm 1, and reports rounds, beeps, and
-// verification.
+// verification. Algorithms are resolved through the internal/sim
+// workload registry, so beepsim runs exactly the workload set the sweep
+// subsystem runs (gossip, mis, coloring, leader, matching, bfstree).
 //
 // Usage examples:
 //
 //	beepsim -graph regular -n 64 -delta 8 -alg matching -eps 0.1
-//	beepsim -graph grid -n 36 -alg bfs -model native
+//	beepsim -graph grid -n 36 -alg bfstree -model native
 //	beepsim -graph pg -q 5 -alg mis -eps 0.05 -seed 7
 //	beepsim -graph regular -n 10000 -delta 16 -alg mis -workers 0
 //
@@ -21,17 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/algorithms/bfstree"
-	"repro/internal/algorithms/coloring"
-	"repro/internal/algorithms/leader"
-	"repro/internal/algorithms/matching"
-	"repro/internal/algorithms/mis"
-	"repro/internal/congest"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -40,9 +37,10 @@ func main() {
 		n         = flag.Int("n", 64, "number of nodes (regular/bounded/cycle/complete/hard)")
 		delta     = flag.Int("delta", 8, "degree bound Δ")
 		q         = flag.Int("q", 5, "projective plane order (graph=pg)")
-		algName   = flag.String("alg", "matching", "algorithm: matching|mis|coloring|bfs|leader")
+		algName   = flag.String("alg", "matching", "algorithm: "+strings.Join(sim.WorkloadNames(), "|"))
 		model     = flag.String("model", "beep", "execution model: native|beep")
 		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model)")
+		rounds    = flag.Int("rounds", 3, "round count for rounds-parameterized algorithms (gossip)")
 		seed      = flag.Uint64("seed", 1, "seed")
 		workers   = flag.Int("workers", 1, "simulation workers: 1 = serial, 0 = one per CPU")
 		shards    = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
@@ -52,7 +50,7 @@ func main() {
 	if w == 0 {
 		w = engine.AutoWorkers
 	}
-	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *seed, w, *shards); err != nil {
+	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *rounds, *seed, w, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "beepsim:", err)
 		os.Exit(1)
 	}
@@ -86,149 +84,81 @@ func buildGraph(kind string, n, delta, q int, seed uint64) (*graph.Graph, error)
 	}
 }
 
-type workload struct {
-	algs    []congest.BroadcastAlgorithm
-	msgBits int
-	rounds  int
-	verify  func([]any) error
-}
-
-func buildWorkload(name string, g *graph.Graph) (*workload, error) {
-	n := g.N()
-	switch name {
-	case "matching":
-		return &workload{
-			algs:    matching.New(n),
-			msgBits: matching.MsgBits(n),
-			rounds:  matching.MaxRounds(n),
-			verify: func(outs []any) error {
-				res := make([]int, n)
-				for v, o := range outs {
-					res[v] = o.(int)
-				}
-				return matching.Verify(g, res)
-			},
-		}, nil
-	case "mis":
-		return &workload{
-			algs:    mis.New(n),
-			msgBits: mis.MsgBits(n),
-			rounds:  mis.MaxRounds(n),
-			verify: func(outs []any) error {
-				res := make([]bool, n)
-				for v, o := range outs {
-					res[v] = o.(bool)
-				}
-				return mis.Verify(g, res)
-			},
-		}, nil
-	case "coloring":
-		return &workload{
-			algs:    coloring.New(n),
-			msgBits: coloring.MsgBits(n, g.MaxDegree()),
-			rounds:  coloring.MaxRounds(n),
-			verify: func(outs []any) error {
-				res := make([]int, n)
-				for v, o := range outs {
-					res[v] = o.(int)
-				}
-				return coloring.Verify(g, res)
-			},
-		}, nil
-	case "bfs":
-		return &workload{
-			algs:    bfstree.New(n, 0),
-			msgBits: bfstree.MsgBits(n),
-			rounds:  n + 1,
-			verify: func(outs []any) error {
-				res := make([]bfstree.Result, n)
-				for v, o := range outs {
-					res[v] = o.(bfstree.Result)
-				}
-				return bfstree.Verify(g, 0, res)
-			},
-		}, nil
-	case "leader":
-		return &workload{
-			algs:    leader.New(n, n),
-			msgBits: leader.MsgBits(n),
-			rounds:  n + 1,
-			verify: func(outs []any) error {
-				res := make([]leader.Result, n)
-				for v, o := range outs {
-					res[v] = o.(leader.Result)
-				}
-				return leader.Verify(g, res)
-			},
-		}, nil
+// engineName maps the -model flag to a registered engine.
+func engineName(model string) (string, error) {
+	switch model {
+	case "native":
+		return sim.EngineCongest, nil
+	case "beep":
+		return sim.EngineAlg1, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+		return "", fmt.Errorf("unknown model %q", model)
 	}
 }
 
-func run(graphKind string, n, delta, q int, algName, model string, eps float64, seed uint64, workers, shards int) error {
+func run(graphKind string, n, delta, q int, algName, model string, eps float64, rounds int, seed uint64, workers, shards int) error {
 	g, err := buildGraph(graphKind, n, delta, q, seed)
 	if err != nil {
 		return err
 	}
-	w, err := buildWorkload(algName, g)
+	wl, ok := sim.WorkloadFor(algName)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (have %s)", algName, strings.Join(sim.WorkloadNames(), ", "))
+	}
+	en, err := engineName(model)
 	if err != nil {
 		return err
 	}
+	eng, _ := sim.EngineFor(en)
+	if !wl.UsesRounds() {
+		rounds = 0
+	}
+	msgBits, budget := wl.MsgBits(g), wl.Budget(g, rounds)
 	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", graphKind, g.N(), g.M(), g.MaxDegree())
-	fmt.Printf("algorithm: %s  bandwidth=%d bits  budget=%d rounds\n", algName, w.msgBits, w.rounds)
+	fmt.Printf("algorithm: %s  bandwidth=%d bits  budget=%d rounds\n", wl.Name(), msgBits, budget)
 
+	inst, err := eng.Prepare(g, sim.Config{
+		MsgBits:     msgBits,
+		Epsilon:     eps,
+		ChannelSeed: seed,
+		AlgSeed:     seed,
+		Workers:     workers,
+		Shards:      shards,
+		Workload:    wl,
+		Rounds:      rounds,
+	})
+	if err != nil {
+		return err
+	}
+	res, extras, err := inst.Run(wl.Algs(g, rounds), budget)
+	if err != nil {
+		return err
+	}
 	switch model {
 	case "native":
-		eng, err := congest.NewBroadcastEngine(g, w.msgBits, seed)
-		if err != nil {
-			return err
-		}
-		eng.SetParallelism(workers, shards)
-		res, err := eng.Run(w.algs, w.rounds)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("native Broadcast CONGEST: %d rounds, %d messages, done=%v\n",
-			res.Rounds, res.Messages, res.AllDone)
-		if !res.AllDone {
-			return errors.New("algorithm did not terminate in budget")
-		}
-		return report(w, res.Outputs)
+			res.SimRounds, extras[sim.ExtraMessages], res.AllDone)
 	case "beep":
-		p := core.DefaultParams(g.N(), g.MaxDegree(), w.msgBits, eps)
-		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
-			Params:      p,
-			ChannelSeed: seed,
-			AlgSeed:     seed,
-			NoisyOwn:    true,
-			Workers:     workers,
-			Shards:      shards,
-		})
-		if err != nil {
-			return err
-		}
-		res, err := runner.Run(w.algs, w.rounds)
-		if err != nil {
-			return err
+		perRound := 0
+		if res.SimRounds > 0 {
+			perRound = res.BeepRounds / res.SimRounds
 		}
 		fmt.Printf("noisy beeping model (ε=%.2f): %d simulated rounds, %d beep rounds (%d per round), %d beeps\n",
-			eps, res.SimRounds, res.BeepRounds, p.RoundsPerSimRound(), res.Beeps)
+			eps, res.SimRounds, res.BeepRounds, perRound, res.Beeps)
 		fmt.Printf("decode errors: %d message, %d membership (node·rounds)\n",
 			res.MessageErrors, res.MembershipErrors)
-		if !res.AllDone {
-			return errors.New("algorithm did not terminate in budget")
-		}
-		return report(w, res.Outputs)
+	}
+	if !res.AllDone {
+		return errors.New("algorithm did not terminate in budget")
+	}
+	verr := wl.Verify(g, res.Outputs)
+	switch {
+	case errors.Is(verr, sim.ErrUnverified):
+		fmt.Println("verification: n/a (workload defines no output-validity notion)")
+	case verr != nil:
+		return fmt.Errorf("verification FAILED: %w", verr)
 	default:
-		return fmt.Errorf("unknown model %q", model)
+		fmt.Println("verification: OK")
 	}
-}
-
-func report(w *workload, outputs []any) error {
-	if err := w.verify(outputs); err != nil {
-		return fmt.Errorf("verification FAILED: %w", err)
-	}
-	fmt.Println("verification: OK")
 	return nil
 }

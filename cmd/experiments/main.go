@@ -50,11 +50,22 @@ type jsonTable struct {
 
 func run(quick bool, seed uint64, only string, workers, shards int, jsonPath string) error {
 	cfg := experiments.Config{Quick: quick, Seed: seed, Workers: workers, Shards: shards}
+	known := make(map[string]bool)
+	var ids []string
+	for _, e := range experiments.All() {
+		known[e.ID] = true
+		ids = append(ids, e.ID)
+	}
 	selected := make(map[string]bool)
 	for _, id := range strings.Split(only, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			selected[strings.ToUpper(id)] = true
+		if id = strings.TrimSpace(id); id == "" {
+			continue
 		}
+		id = strings.ToUpper(id)
+		if !known[id] {
+			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+		}
+		selected[id] = true
 	}
 	var jsonOut io.Writer
 	if jsonPath == "-" {

@@ -1,15 +1,19 @@
 // Command sweep expands a declarative scenario grid (graph family × n ×
 // Δ × ε × engine × workload × replicates), runs it through the batch
 // scheduler with content-addressed caching, and prints an aggregate
-// table. Results persist as JSONL (one record per scenario, keyed by the
-// spec's content hash), so re-running an overlapping grid — or resuming
-// after an interrupt — skips every scenario already in the store.
+// table. Engines and workloads come from the internal/sim registries —
+// every registered workload (gossip, mis, coloring, leader, matching,
+// bfstree) runs on every compatible engine. Results persist as JSONL
+// (one record per scenario, keyed by the spec's content hash), so
+// re-running an overlapping grid — or resuming after an interrupt —
+// skips every scenario already in the store; within one batch, graphs
+// and code tables are built once and shared across scenarios.
 //
 // Usage:
 //
 //	sweep -family regular,pg -n 32,64 -delta 4,8 -eps 0,0.1 \
-//	      -engine alg1,tdma -workload gossip -rounds 3 -replicates 3 \
-//	      -seed 2023 -store results.jsonl -jobs 0 -v
+//	      -engine alg1,tdma -workload gossip,coloring -rounds 3 \
+//	      -replicates 3 -seed 2023 -store results.jsonl -jobs 0 -v
 //
 // The final stderr line reports cache effectiveness, e.g.
 // "sweep: total=48 cached=48 run=0 failed=0 wall=12ms" — a second run of
@@ -24,6 +28,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -33,8 +38,8 @@ func main() {
 		ns         = flag.String("n", "64", "comma-separated node counts (ignored by families that derive n)")
 		deltas     = flag.String("delta", "4", "comma-separated family parameters (Δ; q for pg, side for grid, dim for hypercube)")
 		epss       = flag.String("eps", "0.05", "comma-separated channel noise rates")
-		engines    = flag.String("engine", "alg1", "comma-separated engines (alg1, tdma, congest, beep)")
-		workloads  = flag.String("workload", "gossip", "comma-separated workloads (gossip, mis)")
+		engines    = flag.String("engine", "alg1", "comma-separated engines ("+strings.Join(sim.EngineNames(), ", ")+")")
+		workloads  = flag.String("workload", "gossip", "comma-separated workloads ("+strings.Join(sim.WorkloadNames(), ", ")+")")
 		rounds     = flag.Int("rounds", 3, "gossip rounds per scenario")
 		msgBits    = flag.Int("msgbits", 0, "CONGEST bandwidth override (0 = workload default)")
 		replicates = flag.Int("replicates", 1, "seed replicates per grid point")
@@ -124,17 +129,18 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 
 func printAggregate(w *os.File, groups []sweep.Group) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tengine\tfamily\tn\tparam\teps\treps\tbeep rounds (mean)\tbeeps/sim round (mean)\tmsg err (mean)\tmem err (mean)\tenergy (mean)\twall ms (p50/p90)")
+	fmt.Fprintln(tw, "workload\tengine\tfamily\tn\tparam\teps\treps\tbeep rounds (mean)\tbeeps/sim round (mean)\tmsg err (mean)\tmem err (mean)\tenergy (mean)\twall ms (p50/p90)\tbuild ms (mean)")
 	for _, g := range groups {
 		k := g.Key
 		n := k.N
 		if n == 0 && len(g.Records) > 0 {
 			n = g.Records[0].Graph.N // derived-N families: report the realized size
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2f\t%d\t%.0f\t%.0f\t%.4f\t%.4f\t%.0f\t%.0f/%.0f\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2f\t%d\t%.0f\t%.0f\t%.4f\t%.4f\t%.0f\t%.0f/%.0f\t%.2f\n",
 			k.Workload, k.Engine, k.Family, n, k.Param, k.Epsilon,
 			g.BeepRounds.Count, g.BeepRounds.Mean, g.PerSimRound.Mean,
-			g.MsgErr.Mean, g.MemErr.Mean, g.Beeps.Mean, g.WallMS.P50, g.WallMS.P90)
+			g.MsgErr.Mean, g.MemErr.Mean, g.Beeps.Mean, g.WallMS.P50, g.WallMS.P90,
+			g.BuildMS.Mean)
 	}
 	tw.Flush()
 }

@@ -1,0 +1,83 @@
+// Package gossip implements the canonical "one Broadcast CONGEST round"
+// workload: every node broadcasts its ID every round for a fixed number
+// of rounds. It carries no decision problem — it exists to probe the
+// channel, so the simulation overhead and error-rate tables (T4, T6, A4)
+// measure exactly one simulated broadcast round at a time.
+//
+// The workload started life as internal/experiments' idGossip, then
+// lived inside internal/sweep; it now sits beside the other
+// sweepable algorithms so the workload registry treats all of them
+// uniformly.
+package gossip
+
+import (
+	"repro/internal/congest"
+	"repro/internal/wire"
+)
+
+// DefaultRounds is the round count a non-positive rounds parameter
+// selects — the single source of truth for the workload's default
+// (formerly duplicated between the state machine's Init and its
+// constructor).
+const DefaultRounds = 1
+
+// MsgBits returns the workload's default bandwidth on an n-node graph:
+// room for an ID with slack (2·⌈log₂ n⌉), the width the experiment
+// tables have always probed with.
+func MsgBits(n int) int { return 2 * wire.BitsFor(n) }
+
+// Budget returns the engine round budget for a rounds-round run (two
+// rounds of slack, matching the historical harness).
+func Budget(rounds int) int { return rounds + 2 }
+
+// Algorithm is the per-node gossip state machine: broadcast the node ID
+// every round, count receptions, stop after the configured number of
+// rounds.
+type Algorithm struct {
+	// Rounds is the number of rounds to gossip for; New normalizes
+	// non-positive values to DefaultRounds.
+	Rounds int
+
+	env  congest.Env
+	seen int
+	done bool
+}
+
+var _ congest.BroadcastAlgorithm = (*Algorithm)(nil)
+
+// Init implements congest.BroadcastAlgorithm.
+func (g *Algorithm) Init(env congest.Env) { g.env = env }
+
+// Broadcast implements congest.BroadcastAlgorithm.
+func (g *Algorithm) Broadcast(round int) congest.Message {
+	var w wire.Writer
+	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
+	return w.PaddedBytes(g.env.MsgBits)
+}
+
+// Receive implements congest.BroadcastAlgorithm.
+func (g *Algorithm) Receive(round int, msgs []congest.Message) {
+	g.seen++
+	if g.seen >= g.Rounds {
+		g.done = true
+	}
+}
+
+// Done implements congest.BroadcastAlgorithm.
+func (g *Algorithm) Done() bool { return g.done }
+
+// Output returns the number of rounds the node participated in.
+func (g *Algorithm) Output() any { return g.seen }
+
+// New returns per-node instances gossiping for the given number of
+// rounds (non-positive selects DefaultRounds).
+func New(n, rounds int) []congest.BroadcastAlgorithm {
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	algs := make([]congest.BroadcastAlgorithm, n)
+	for v := range algs {
+		algs[v] = &Algorithm{Rounds: rounds}
+	}
+	return algs
+}

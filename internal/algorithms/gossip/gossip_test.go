@@ -1,0 +1,38 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+func TestGossipRunsForConfiguredRounds(t *testing.T) {
+	g := graph.Cycle(8)
+	eng, err := congest.NewBroadcastEngine(g, MsgBits(g.N()), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	res, err := eng.Run(New(g.N(), rounds), Budget(rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone || res.Rounds != rounds {
+		t.Fatalf("rounds = %d, allDone = %v, want %d, true", res.Rounds, res.AllDone, rounds)
+	}
+	for v, o := range res.Outputs {
+		if o.(int) != rounds {
+			t.Fatalf("node %d saw %v rounds, want %d", v, o, rounds)
+		}
+	}
+}
+
+func TestDefaultRoundsNormalization(t *testing.T) {
+	for _, rounds := range []int{0, -3} {
+		algs := New(4, rounds)
+		if got := algs[0].(*Algorithm).Rounds; got != DefaultRounds {
+			t.Fatalf("New(4, %d) rounds = %d, want DefaultRounds = %d", rounds, got, DefaultRounds)
+		}
+	}
+}

@@ -205,17 +205,13 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 			p := r.patBuf[v]
 			p.Reset()
 			base := r.colors[v] * r.slotLen()
-			for rep := 0; rep < r.cfg.Rho; rep++ {
-				p.Set(base + rep) // presence beacon
-			}
+			p.SetRange(base, base+r.cfg.Rho) // presence beacon
 			for bit := 0; bit < r.cfg.MsgBits; bit++ {
 				if !wire.Bit(msgs[v], bit) {
 					continue
 				}
 				off := base + (1+bit)*r.cfg.Rho
-				for rep := 0; rep < r.cfg.Rho; rep++ {
-					p.Set(off + rep)
-				}
+				p.SetRange(off, off+r.cfg.Rho)
 			}
 			r.patterns[v] = p
 		}
@@ -303,13 +299,7 @@ func (r *Runner) decode(v int, heard *bitstring.BitString, sc *shardScratch) []c
 }
 
 func (r *Runner) majority(heard *bitstring.BitString, off int) bool {
-	ones := 0
-	for i := 0; i < r.cfg.Rho; i++ {
-		if heard.Get(off + i) {
-			ones++
-		}
-	}
-	return 2*ones > r.cfg.Rho
+	return 2*heard.OnesRange(off, off+r.cfg.Rho) > r.cfg.Rho
 }
 
 func (r *Runner) score(sc *shardScratch, d *core.ScoreDelta, v int, msgs []congest.Message, inbox []congest.Message) {

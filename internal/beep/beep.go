@@ -396,6 +396,13 @@ func (nw *Network) receiveInto(v int, patterns []*bitstring.BitString, length in
 	}
 	if nw.params.Epsilon > 0 {
 		fs := nw.noiseSampler(v)
+		if nw.params.NoisyOwn || patterns[v] == nil {
+			// Every slot in the window is noisy, so the flips XOR straight
+			// into the reception words — the batch sampler consumes the
+			// stream exactly like the scalar loop below.
+			fs.XorFlipsInto(acc.Words(), nw.round, nw.round+length)
+			return
+		}
 		for {
 			abs, ok := fs.Next(nw.round + length)
 			if !ok {
@@ -405,9 +412,8 @@ func (nw *Network) receiveInto(v int, patterns []*bitstring.BitString, length in
 				continue // positions consumed by earlier windows
 			}
 			pos := abs - nw.round
-			beepedSelf := patterns[v] != nil && patterns[v].Get(pos)
-			if beepedSelf && !nw.params.NoisyOwn {
-				continue
+			if patterns[v].Get(pos) && !nw.params.NoisyOwn {
+				continue // own beep, noise-free reception convention
 			}
 			acc.Flip(pos)
 		}

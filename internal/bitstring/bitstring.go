@@ -333,6 +333,54 @@ func (s *BitString) AndNotCountPrefixLimit(t *BitString, prefixBits, limit int) 
 	return total
 }
 
+// OnesRange returns the number of 1-bits in positions [lo, hi) — the
+// word-parallel form of a per-position Get loop over a contiguous run
+// (the TDMA baseline's per-slot majorities). It panics if the range is
+// out of bounds or inverted.
+func (s *BitString) OnesRange(lo, hi int) int {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitstring: range [%d,%d) out of bounds [0,%d)", lo, hi, s.n))
+	}
+	if lo == hi {
+		return 0
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+	if loW == hiW {
+		return bits.OnesCount64(s.words[loW] & loMask & hiMask)
+	}
+	total := bits.OnesCount64(s.words[loW] & loMask)
+	for i := loW + 1; i < hiW; i++ {
+		total += bits.OnesCount64(s.words[i])
+	}
+	return total + bits.OnesCount64(s.words[hiW]&hiMask)
+}
+
+// SetRange sets every bit in [lo, hi) to 1 — the word-parallel form of a
+// per-position Set loop over a contiguous run. It panics if the range is
+// out of bounds or inverted.
+func (s *BitString) SetRange(lo, hi int) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitstring: range [%d,%d) out of bounds [0,%d)", lo, hi, s.n))
+	}
+	if lo == hi {
+		return
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+	if loW == hiW {
+		s.words[loW] |= loMask & hiMask
+		return
+	}
+	s.words[loW] |= loMask
+	for i := loW + 1; i < hiW; i++ {
+		s.words[i] = ^uint64(0)
+	}
+	s.words[hiW] |= hiMask
+}
+
 // HammingDistance returns d_H(s, t), the number of positions where s and t
 // differ. It panics if lengths differ.
 func (s *BitString) HammingDistance(t *BitString) int {

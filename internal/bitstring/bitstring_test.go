@@ -597,3 +597,64 @@ func BenchmarkAndNotCount(b *testing.B) {
 		_ = x.AndNotCount(y)
 	}
 }
+
+func TestPropertyOnesRange(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := 1 + int(nRaw)%300
+		r := rand.New(rand.NewSource(seed))
+		s := randomBitString(r, n)
+		lo := r.Intn(n + 1)
+		hi := lo + r.Intn(n+1-lo)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if s.Get(i) {
+				want++
+			}
+		}
+		return s.OnesRange(lo, hi) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySetRange(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := 1 + int(nRaw)%300
+		r := rand.New(rand.NewSource(seed))
+		s := randomBitString(r, n)
+		want := s.Clone()
+		lo := r.Intn(n + 1)
+		hi := lo + r.Intn(n+1-lo)
+		for i := lo; i < hi; i++ {
+			want.Set(i)
+		}
+		s.SetRange(lo, hi)
+		return s.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeBoundsPanic(t *testing.T) {
+	s := New(70)
+	for _, r := range [][2]int{{-1, 5}, {0, 71}, {9, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OnesRange(%d, %d) did not panic", r[0], r[1])
+				}
+			}()
+			s.OnesRange(r[0], r[1])
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetRange(%d, %d) did not panic", r[0], r[1])
+				}
+			}()
+			s.SetRange(r[0], r[1])
+		}()
+	}
+}

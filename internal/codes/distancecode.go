@@ -143,6 +143,54 @@ func (c *RepetitionCode) DecodeInto(obs, solo *bitstring.BitString, out []byte) 
 	return out
 }
 
+// DecodeScatteredInto is DecodeInto fused with the ỹ gather: codeword
+// position j is read directly from transcript bit y[positions[j]]
+// instead of from a pre-gathered observation string, so the per-round
+// decode touches the transcript words once with no intermediate buffer.
+// It produces byte-identical output to GatherInto followed by
+// DecodeInto. positions must hold Length() in-range transcript indices;
+// solo must have Length() bits; out must hold ⌈MessageBits/8⌉ bytes.
+func (c *RepetitionCode) DecodeScatteredInto(y *bitstring.BitString, positions []int32, solo *bitstring.BitString, out []byte) []byte {
+	out = out[:(c.msgBits+7)/8]
+	for i := range out {
+		out[i] = 0
+	}
+	yw, sw := y.Words(), solo.Words()
+	for bit := 0; bit < c.msgBits; bit++ {
+		row := c.byBit[bit]
+		ones, zeros := 0, 0
+		for _, j := range row {
+			if sw[j>>6]&(1<<(uint(j)&63)) == 0 {
+				continue
+			}
+			p := positions[j]
+			if yw[p>>6]&(1<<(uint(p)&63)) != 0 {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+		var value bool
+		if ones+zeros > 0 {
+			value = ones > zeros
+		} else {
+			// No solo position for this bit: use every position with the
+			// one-sided fallback threshold (see DecodeInto).
+			for _, j := range row {
+				p := positions[j]
+				if yw[p>>6]&(1<<(uint(p)&63)) != 0 {
+					ones++
+				}
+			}
+			value = ones*c.fallbackDen > c.fallbackNum*len(row)
+		}
+		if value {
+			wire.SetBit(out, bit, true)
+		}
+	}
+	return out
+}
+
 var _ DistanceCode = (*RepetitionCode)(nil)
 
 // maxRandomCodeBits caps the message space of RandomDistanceCode; its

@@ -95,6 +95,33 @@ func newDecoder(p Params) (*decoder, error) {
 	}, nil
 }
 
+// Codes bundles the prebuilt, read-only decode tables of a
+// parameterization — the beep-code position/offset/mask tables and the
+// distance-code permutation, i.e. everything newDecoder hashes out of
+// the PRG. A Codes value is a pure function of its Params (public
+// shared knowledge in the paper's model), safe to share across any
+// number of concurrent runners, and is the unit the sweep layer's
+// artifact cache stores so a batch builds each parameterization's
+// tables once.
+type Codes struct {
+	p   Params
+	dec *decoder
+}
+
+// BuildCodes constructs the decode tables for p (validated only for
+// internal consistency; NewBroadcastRunner still validates p against
+// the graph).
+func BuildCodes(p Params) (*Codes, error) {
+	dec, err := newDecoder(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Codes{p: p, dec: dec}, nil
+}
+
+// Params returns the parameterization the tables were built for.
+func (c *Codes) Params() Params { return c.p }
+
 // decodeScratch holds a decoder's per-worker mutable state, so that
 // steady-state decoding allocates nothing. Each concurrent decode needs
 // its own scratch (the runner keeps one per execution-pool shard); the
@@ -103,17 +130,25 @@ type decodeScratch struct {
 	members []int
 	rows    [][]int32              // offset row per member
 	solos   []*bitstring.BitString // W-bit solo mask per member
-	obs     *bitstring.BitString   // W-bit phase-2 gather
-	counts  []int32                // per-offset occupancy (counting path), len BlockSize
-	stamp   []int32                // member stamps indexed by codeword (bucket path), len M
-	gen     int32
+	soloW   [][]uint64             // solos[i].Words(), cached per soloMasks call
+	// tags/counts are the counting path's per-offset occupancy: an
+	// entry is current only when its tag matches the position's tag for
+	// the present soloMasks call (tick advances by W per call, so tags
+	// are unique across calls and positions and stale entries read as
+	// zero without any per-call zeroing pass).
+	tags   []uint64 // len BlockSize
+	counts []int32  // len BlockSize
+	tick   uint64
+	stamp  []int32 // member stamps indexed by codeword (bucket path), len M
+	gen    int32
 }
 
 func (d *decoder) newScratch() *decodeScratch {
-	sc := &decodeScratch{obs: bitstring.New(d.p.W())}
+	sc := &decodeScratch{}
 	if d.useBuckets {
 		sc.stamp = make([]int32, d.p.M)
 	} else {
+		sc.tags = make([]uint64, d.p.BlockSize())
 		sc.counts = make([]int32, d.p.BlockSize())
 	}
 	return sc
@@ -126,8 +161,10 @@ func (sc *decodeScratch) ensureMembers(k, w int) {
 	}
 	if cap(sc.rows) < k {
 		sc.rows = make([][]int32, k)
+		sc.soloW = make([][]uint64, k)
 	}
 	sc.rows = sc.rows[:k]
+	sc.soloW = sc.soloW[:k]
 }
 
 // members returns R̃: every codeword cw whose positions are consistent
@@ -176,19 +213,29 @@ func (d *decoder) soloMasks(members []int, sc *decodeScratch) {
 	}
 	for i, cw := range members {
 		sc.rows[i] = d.code.OffsetRow(cw)
+		sc.soloW[i] = sc.solos[i].Words()
 	}
-	rows, counts := sc.rows, sc.counts
+	rows, tags, counts := sc.rows, sc.tags, sc.counts
+	// One globally-unique tag per (call, position): base advances by W
+	// per call, so an entry last touched by any earlier call — or an
+	// earlier position of this call — can never alias the current one.
+	base := sc.tick + 1
+	sc.tick += uint64(w)
 	for j := 0; j < w; j++ {
+		tag := base + uint64(j)
 		for i := range members {
-			counts[rows[i][j]]++
+			off := rows[i][j]
+			if tags[off] != tag {
+				tags[off] = tag
+				counts[off] = 0
+			}
+			counts[off]++
 		}
+		wi, mask := j>>6, ^(uint64(1) << (uint(j) & 63))
 		for i := range members {
 			if counts[rows[i][j]] > 1 {
-				sc.solos[i].ClearBit(j)
+				sc.soloW[i][wi] &= mask
 			}
-		}
-		for i := range members {
-			counts[rows[i][j]] = 0
 		}
 	}
 }
@@ -224,10 +271,11 @@ func (d *decoder) soloMasksBuckets(members []int, sc *decodeScratch) {
 // decodeMessage recovers the message carried by codeword t from the
 // phase-2 observation y: it reads the paper's ỹ_{v,w} (the bits of y at
 // t's positions) and runs the distance-code decoder with the solo mask,
-// writing into out (which must hold ⌈MsgBits/8⌉ bytes).
-func (d *decoder) decodeMessage(t int, y, solo *bitstring.BitString, sc *decodeScratch, out []byte) []byte {
-	y.GatherInto(sc.obs, d.code.PositionRow(t))
-	return d.dist.DecodeInto(sc.obs, solo, out)
+// writing into out (which must hold ⌈MsgBits/8⌉ bytes). The gather and
+// the per-bit majorities are fused (DecodeScatteredInto), so no
+// intermediate observation string is materialized.
+func (d *decoder) decodeMessage(t int, y, solo *bitstring.BitString, out []byte) []byte {
+	return d.dist.DecodeScatteredInto(y, d.code.PositionRow(t), solo, out)
 }
 
 // encodePhase1 returns C(cw) as a beep pattern — the cached codeword

@@ -154,10 +154,17 @@ func TestPropertyOptimizedMatchesNaive(t *testing.T) {
 			return true
 		}
 		sc := d.newScratch()
+		// Dirty the scratch with an unrelated member set first: production
+		// reuses one scratch per shard across all nodes and rounds, so the
+		// counting pass must be immune to any prior call's residue (the
+		// per-call tag discipline; a position-only tag aliases here).
+		prior := r.SampleDistinct(p.M, 1+r.Intn(min(p.K, p.M)))
+		d.soloMasks(prior, sc)
 		d.soloMasks(members, sc)
 		db := *d
 		db.useBuckets = true
 		scb := db.newScratch()
+		db.soloMasks(prior, scb)
 		db.soloMasks(members, scb)
 		out := make([]byte, d.msgBytes)
 		for i, cw := range members {
@@ -170,7 +177,7 @@ func TestPropertyOptimizedMatchesNaive(t *testing.T) {
 				t.Logf("seed %d: bucket solo mask of %d differs", seed, cw)
 				return false
 			}
-			got := d.decodeMessage(cw, y, sc.solos[i], sc, out)
+			got := d.decodeMessage(cw, y, sc.solos[i], out)
 			want := refDecodeMessage(d, cw, y, wantSolo)
 			if len(got) != len(want) {
 				return false

@@ -30,7 +30,7 @@ func (d *decoder) soloMaskFor(t int, members []int) *bitstring.BitString {
 }
 
 func (d *decoder) decodeMessageAlloc(t int, y, solo *bitstring.BitString) []byte {
-	return d.decodeMessage(t, y, solo, d.newScratch(), make([]byte, d.msgBytes))
+	return d.decodeMessage(t, y, solo, make([]byte, d.msgBytes))
 }
 
 func testParams() Params {

@@ -32,6 +32,13 @@ type RunnerConfig struct {
 	// (the Lemma 14 / Theorem 22 counting experiments). Memory grows with
 	// beep rounds; leave off for large runs.
 	RecordBeeps bool
+	// Codes supplies prebuilt decode tables (BuildCodes) for Params,
+	// letting callers — the sweep layer's artifact cache — share one
+	// table set across runners. Nil builds fresh tables; a non-nil value
+	// must have been built for exactly this Params. Either way the
+	// tables are a pure function of Params, so this never changes
+	// results.
+	Codes *Codes
 	// Workers parallelizes the radio, encode, and decode phases across
 	// goroutines (0 or 1 = serial, engine.AutoWorkers = GOMAXPROCS).
 	// Results are bit-identical for every setting.
@@ -122,9 +129,18 @@ func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, err
 	if err := cfg.Params.Validate(g.N(), g.MaxDegree()); err != nil {
 		return nil, err
 	}
-	dec, err := newDecoder(cfg.Params)
-	if err != nil {
-		return nil, err
+	var dec *decoder
+	if cfg.Codes != nil {
+		if cfg.Codes.p != cfg.Params {
+			return nil, fmt.Errorf("core: prebuilt codes for %+v used with params %+v", cfg.Codes.p, cfg.Params)
+		}
+		dec = cfg.Codes.dec
+	} else {
+		var err error
+		dec, err = newDecoder(cfg.Params)
+		if err != nil {
+			return nil, err
+		}
 	}
 	nw, err := beep.NewNetwork(g, beep.Params{
 		Epsilon:     cfg.Params.Epsilon,
@@ -287,7 +303,7 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 					solo = sc.dec.solos[i]
 				}
 				buf := sc.msgPool.Buf(len(inbox), r.dec.msgBytes)
-				inbox = append(inbox, r.dec.decodeMessage(t, r.ys[v], solo, sc.dec, buf))
+				inbox = append(inbox, r.dec.decodeMessage(t, r.ys[v], solo, buf))
 			}
 			congest.SortMessages(inbox)
 

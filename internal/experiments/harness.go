@@ -15,6 +15,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/algorithms/gossip"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -149,7 +150,7 @@ func runGossip(cfg Config, g *graph.Graph, p core.Params, rounds int, channelSee
 	if err != nil {
 		return gossipStats{}, err
 	}
-	res, err := runner.Run(sweep.GossipAlgs(g.N(), rounds), rounds+2)
+	res, err := runner.Run(gossip.New(g.N(), rounds), gossip.Budget(rounds))
 	if err != nil {
 		return gossipStats{}, err
 	}

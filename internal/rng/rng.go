@@ -205,6 +205,57 @@ func (fs *FlipSampler) Peek() int { return fs.next }
 // Skip consumes the current flip position.
 func (fs *FlipSampler) Skip() { fs.advance() }
 
+// XorFlipsInto XORs the sampler's flip positions in [start, end) into
+// words: absolute position abs lands on bit abs-start. Positions before
+// start are consumed and discarded (they belong to windows the caller
+// already processed), exactly like the equivalent Next loop. It is the
+// batch form of Next+Flip — one call per reception window instead of one
+// call and one bounds-checked bit flip per noise event — and consumes
+// the underlying stream identically, so the enumerated positions are
+// bit-for-bit those the scalar loop yields.
+func (fs *FlipSampler) XorFlipsInto(words []uint64, start, end int) {
+	next := fs.next
+	if next >= end {
+		return
+	}
+	if fs.certain {
+		for ; next < end; next++ {
+			if next >= start {
+				i := next - start
+				words[i>>6] ^= 1 << (uint(i) & 63)
+			}
+		}
+		fs.next = next
+		return
+	}
+	r, invLog := fs.r, fs.invLog
+	for next < start { // stale positions from earlier windows
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		gap := int(math.Log(u) * invLog)
+		if gap < 0 {
+			gap = 0
+		}
+		next += 1 + gap
+	}
+	for next < end {
+		i := next - start
+		words[i>>6] ^= 1 << (uint(i) & 63)
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		gap := int(math.Log(u) * invLog)
+		if gap < 0 {
+			gap = 0
+		}
+		next += 1 + gap
+	}
+	fs.next = next
+}
+
 func (fs *FlipSampler) advance() {
 	if fs.certain {
 		fs.next++

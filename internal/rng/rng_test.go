@@ -336,3 +336,64 @@ func BenchmarkFlipSampler(b *testing.B) {
 		}
 	}
 }
+
+// TestXorFlipsIntoMatchesScalarLoop pins the batch noise path to the
+// scalar Next loop: identical flip positions, identical stream
+// consumption, across windows and stale leading positions.
+func TestXorFlipsIntoMatchesScalarLoop(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.49, 1} {
+		a := NewFlipSampler(New(99), p)
+		b := NewFlipSampler(New(99), p)
+		start := 0
+		for _, window := range []int{1, 63, 64, 65, 300, 5} {
+			end := start + window
+			wantWords := make([]uint64, (window+63)/64)
+			for {
+				pos, ok := a.Next(end)
+				if !ok {
+					break
+				}
+				if pos >= start {
+					i := pos - start
+					wantWords[i>>6] ^= 1 << (uint(i) & 63)
+				}
+			}
+			gotWords := make([]uint64, (window+63)/64)
+			b.XorFlipsInto(gotWords, start, end)
+			for i := range wantWords {
+				if wantWords[i] != gotWords[i] {
+					t.Fatalf("p=%v window [%d,%d): word %d = %#x, want %#x", p, start, end, i, gotWords[i], wantWords[i])
+				}
+			}
+			if a.Peek() != b.Peek() {
+				t.Fatalf("p=%v window [%d,%d): stream positions diverge (%d vs %d)", p, start, end, a.Peek(), b.Peek())
+			}
+			start = end
+		}
+		// Stale positions: a window starting past fresh samplers' flips
+		// must consume (not emit) everything before its start.
+		c := NewFlipSampler(New(7), p)
+		d := NewFlipSampler(New(7), p)
+		words := make([]uint64, 4)
+		d.XorFlipsInto(words, 200, 456)
+		for {
+			pos, ok := c.Next(456)
+			if !ok {
+				break
+			}
+			if pos < 200 {
+				continue
+			}
+			i := pos - 200
+			words[i>>6] ^= 1 << (uint(i) & 63)
+		}
+		for i, w := range words {
+			if w != 0 {
+				t.Fatalf("p=%v: stale-skip window word %d differs by %#x", p, i, w)
+			}
+		}
+		if c.Peek() != d.Peek() {
+			t.Fatalf("p=%v: stale-skip window diverged (%d vs %d)", p, c.Peek(), d.Peek())
+		}
+	}
+}

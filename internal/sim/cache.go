@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Default artifact-cache bounds. A sweep batch touches one graph per
+// (family, n, Δ, graph-seed) point and one code table per
+// parameterization, so these cover grids far larger than anything the
+// experiment suite runs while keeping worst-case memory bounded.
+const (
+	DefaultMaxGraphs = 128
+	DefaultMaxCodes  = 64
+)
+
+// Cache shares the expensive pure-function artifacts of scenario
+// execution across a batch:
+//
+//   - graphs, which depend only on (family, n, Δ-parameter, graph seed)
+//     — a GraphKey, stored under the SHA-256 content hash of its
+//     canonical JSON;
+//   - Algorithm 1 code tables (core.Codes), which depend only on the
+//     full core.Params value — the key is the content.
+//
+// A 64-scenario grid over ε/engine/replicate axes re-uses each graph
+// and each code table instead of rebuilding them per scenario, and a
+// shared graph additionally memoizes derived structure (the TDMA
+// engine's distance-2 coloring) across the scenarios that run on it.
+//
+// Determinism: both artifact kinds are pure functions of their keys and
+// immutable once built, so cache hits are indistinguishable from fresh
+// construction — records are byte-identical with the cache on or off
+// (TestArtifactCacheRecordsIdentical). Concurrent lookups of one key
+// build once (per-entry sync.Once); each kind is bounded, evicting the
+// oldest entry on overflow. A nil *Cache is valid and caches nothing.
+type Cache struct {
+	mu          sync.Mutex
+	graphs      map[string]*graphEntry
+	graphOrder  []string
+	codes       map[core.Params]*codesEntry
+	codesOrder  []core.Params
+	maxGraphs   int
+	maxCodes    int
+	graphHits   int64
+	graphMisses int64
+	codeHits    int64
+	codeMisses  int64
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+type codesEntry struct {
+	once sync.Once
+	c    *core.Codes
+	err  error
+}
+
+// NewCache returns an empty cache with the default bounds.
+func NewCache() *Cache {
+	return &Cache{
+		graphs:    make(map[string]*graphEntry),
+		codes:     make(map[core.Params]*codesEntry),
+		maxGraphs: DefaultMaxGraphs,
+		maxCodes:  DefaultMaxCodes,
+	}
+}
+
+// GraphKey is the complete identity of a scenario graph: BuildGraph is a
+// pure function of these four fields (DESIGN.md §4), so they are the
+// cache key.
+type GraphKey struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Param  int    `json:"param"`
+	Seed   uint64 `json:"seed"`
+}
+
+// Hash returns the key's content address: the SHA-256 of its canonical
+// JSON encoding, like the sweep layer's scenario hashes.
+func (k GraphKey) Hash() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("sim: marshal graph key: %v", err)) // scalars only; cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Graph returns the cached graph for key, calling build (which must be a
+// pure function of the key) at most once per cached entry. A nil cache
+// just calls build.
+func (c *Cache) Graph(key GraphKey, build func() (*graph.Graph, error)) (*graph.Graph, error) {
+	if c == nil {
+		return build()
+	}
+	h := key.Hash()
+	c.mu.Lock()
+	e, ok := c.graphs[h]
+	if ok {
+		c.graphHits++
+	} else {
+		c.graphMisses++
+		if len(c.graphs) >= c.maxGraphs {
+			delete(c.graphs, c.graphOrder[0])
+			c.graphOrder = c.graphOrder[1:]
+		}
+		e = &graphEntry{}
+		c.graphs[h] = e
+		c.graphOrder = append(c.graphOrder, h)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = build() })
+	return e.g, e.err
+}
+
+// Codes returns the cached Algorithm 1 decode tables for p, building
+// them at most once per cached entry. A nil cache builds fresh tables.
+func (c *Cache) Codes(p core.Params) (*core.Codes, error) {
+	if c == nil {
+		return core.BuildCodes(p)
+	}
+	c.mu.Lock()
+	e, ok := c.codes[p]
+	if ok {
+		c.codeHits++
+	} else {
+		c.codeMisses++
+		if len(c.codes) >= c.maxCodes {
+			delete(c.codes, c.codesOrder[0])
+			c.codesOrder = c.codesOrder[1:]
+		}
+		e = &codesEntry{}
+		c.codes[p] = e
+		c.codesOrder = append(c.codesOrder, p)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = core.BuildCodes(p) })
+	return e.c, e.err
+}
+
+// CacheStats reports hit/miss counts per artifact kind.
+type CacheStats struct {
+	GraphHits, GraphMisses int64
+	CodeHits, CodeMisses   int64
+}
+
+// Stats returns a snapshot of the cache's counters (zero for nil).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		GraphHits: c.graphHits, GraphMisses: c.graphMisses,
+		CodeHits: c.codeHits, CodeMisses: c.codeMisses,
+	}
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("graphs %d/%d codes %d/%d (hits/misses)",
+		s.GraphHits, s.GraphMisses, s.CodeHits, s.CodeMisses)
+}

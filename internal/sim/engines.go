@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func init() {
+	RegisterEngine(alg1Engine{})
+	RegisterEngine(tdmaEngine{})
+	RegisterEngine(congestEngine{})
+	RegisterEngine(beepEngine{})
+}
+
+// alg1Engine adapts the paper's Algorithm 1 simulation (internal/core).
+type alg1Engine struct{}
+
+func (alg1Engine) Name() string             { return EngineAlg1 }
+func (alg1Engine) Native() bool             { return false }
+func (alg1Engine) Supports(w Workload) bool { return true }
+func (alg1Engine) DrivesAlgs() bool         { return true }
+
+func (alg1Engine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
+	p := core.DefaultParams(g.N(), g.MaxDegree(), cfg.MsgBits, cfg.Epsilon)
+	var codes *core.Codes
+	if cfg.Artifacts != nil {
+		var err error
+		if codes, err = cfg.Artifacts.Codes(p); err != nil {
+			return nil, err
+		}
+	}
+	runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
+		Params:      p,
+		Codes:       codes,
+		ChannelSeed: cfg.ChannelSeed,
+		AlgSeed:     cfg.AlgSeed,
+		NoisyOwn:    true,
+		Workers:     cfg.Workers,
+		Shards:      cfg.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return alg1Instance{runner}, nil
+}
+
+type alg1Instance struct{ r *core.BroadcastRunner }
+
+func (i alg1Instance) Run(algs []congest.BroadcastAlgorithm, budget int) (*core.Result, Extras, error) {
+	res, err := i.r.Run(algs, budget)
+	return res, nil, err
+}
+
+// tdmaEngine adapts the prior-work G²-coloring baseline
+// (internal/baseline), reporting its schedule parameterization as
+// Extras.
+type tdmaEngine struct{}
+
+func (tdmaEngine) Name() string             { return EngineTDMA }
+func (tdmaEngine) Native() bool             { return false }
+func (tdmaEngine) Supports(w Workload) bool { return true }
+func (tdmaEngine) DrivesAlgs() bool         { return true }
+
+func (tdmaEngine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
+	bl, err := baseline.NewRunner(g, baseline.Config{
+		MsgBits:     cfg.MsgBits,
+		Epsilon:     cfg.Epsilon,
+		ChannelSeed: cfg.ChannelSeed,
+		AlgSeed:     cfg.AlgSeed,
+		NoisyOwn:    true,
+		Workers:     cfg.Workers,
+		Shards:      cfg.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tdmaInstance{r: bl, g: g}, nil
+}
+
+type tdmaInstance struct {
+	r *baseline.Runner
+	g *graph.Graph
+}
+
+func (i tdmaInstance) Run(algs []congest.BroadcastAlgorithm, budget int) (*core.Result, Extras, error) {
+	res, err := i.r.Run(algs, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, Extras{
+		ExtraColors:      int64(i.r.NumColors()),
+		ExtraRho:         int64(i.r.Rho()),
+		ExtraSetupRounds: int64(baseline.EstimatedSetupRounds(i.g.N(), i.g.MaxDegree())),
+	}, nil
+}
+
+// congestEngine adapts native Broadcast CONGEST (internal/congest): no
+// beeps, no decode errors — natively delivered messages cannot err.
+type congestEngine struct{}
+
+func (congestEngine) Name() string             { return EngineCongest }
+func (congestEngine) Native() bool             { return true }
+func (congestEngine) Supports(w Workload) bool { return true }
+func (congestEngine) DrivesAlgs() bool         { return true }
+
+func (congestEngine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
+	eng, err := congest.NewBroadcastEngine(g, cfg.MsgBits, cfg.AlgSeed)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetParallelism(cfg.Workers, cfg.Shards)
+	return congestInstance{eng}, nil
+}
+
+type congestInstance struct{ e *congest.BroadcastEngine }
+
+func (i congestInstance) Run(algs []congest.BroadcastAlgorithm, budget int) (*core.Result, Extras, error) {
+	res, err := i.e.Run(algs, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &core.Result{SimRounds: res.Rounds, AllDone: res.AllDone, Outputs: res.Outputs}
+	return out, Extras{ExtraMessages: res.Messages}, nil
+}
+
+// beepEngine adapts native beeping algorithms (internal/beepalgs): the
+// channel is noiseless, AlgSeed drives the whole run (there is no
+// separate channel stream), and only workloads with a NativeBeeper
+// implementation can run.
+type beepEngine struct{}
+
+func (beepEngine) Name() string { return EngineBeep }
+func (beepEngine) Native() bool { return true }
+
+// DrivesAlgs is false: the beep engine executes the workload natively
+// (NativeBeeper), so CONGEST instances are never constructed for it.
+func (beepEngine) DrivesAlgs() bool { return false }
+
+func (beepEngine) Supports(w Workload) bool {
+	_, ok := w.(NativeBeeper)
+	return ok
+}
+
+func (beepEngine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
+	nb, ok := cfg.Workload.(NativeBeeper)
+	if !ok {
+		name := "<nil>"
+		if cfg.Workload != nil {
+			name = cfg.Workload.Name()
+		}
+		return nil, fmt.Errorf("sim: engine %q cannot run workload %q natively", EngineBeep, name)
+	}
+	return beepInstance{g: g, nb: nb, seed: cfg.AlgSeed}, nil
+}
+
+type beepInstance struct {
+	g    *graph.Graph
+	nb   NativeBeeper
+	seed uint64
+}
+
+func (i beepInstance) Run(algs []congest.BroadcastAlgorithm, budget int) (*core.Result, Extras, error) {
+	res, err := i.nb.RunBeep(i.g, i.seed)
+	return res, nil, err
+}

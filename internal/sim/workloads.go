@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"repro/internal/algorithms/bfstree"
+	"repro/internal/algorithms/coloring"
+	"repro/internal/algorithms/gossip"
+	"repro/internal/algorithms/leader"
+	"repro/internal/algorithms/matching"
+	"repro/internal/algorithms/mis"
+	"repro/internal/beepalgs"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func init() {
+	RegisterWorkload(gossipWorkload{})
+	RegisterWorkload(misWorkload{})
+	RegisterWorkload(coloringWorkload{})
+	RegisterWorkload(leaderWorkload{})
+	RegisterWorkload(matchingWorkload{})
+	RegisterWorkload(bfstreeWorkload{})
+}
+
+// bfsRoot is the fixed BFS source: node 0 exists in every graph, so the
+// workload needs no extra scenario parameter.
+const bfsRoot = 0
+
+// gossipWorkload: ID broadcast for a configured number of rounds. It is
+// a channel probe with no decision problem, so Verify reports
+// ErrUnverified and records carry no OutputOK — exactly the historical
+// behavior the stored-record byte-identity contract pins.
+type gossipWorkload struct{}
+
+func (gossipWorkload) Name() string                          { return WorkloadGossip }
+func (gossipWorkload) MsgBits(g *graph.Graph) int            { return gossip.MsgBits(g.N()) }
+func (gossipWorkload) UsesRounds() bool                      { return true }
+func (gossipWorkload) Budget(g *graph.Graph, rounds int) int { return gossip.Budget(rounds) }
+
+func (gossipWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return gossip.New(g.N(), rounds)
+}
+
+func (gossipWorkload) Verify(g *graph.Graph, outputs []any) error { return ErrUnverified }
+
+// misWorkload: Luby's maximal independent set over Broadcast CONGEST,
+// with Afek et al.'s protocol as the native beeping implementation.
+type misWorkload struct{}
+
+func (misWorkload) Name() string                          { return WorkloadMIS }
+func (misWorkload) MsgBits(g *graph.Graph) int            { return mis.MsgBits(g.N()) }
+func (misWorkload) UsesRounds() bool                      { return false }
+func (misWorkload) Budget(g *graph.Graph, rounds int) int { return mis.MaxRounds(g.N()) }
+
+func (misWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return mis.New(g.N())
+}
+
+func (misWorkload) Verify(g *graph.Graph, outputs []any) error {
+	set := make([]bool, len(outputs))
+	for v, o := range outputs {
+		b, ok := o.(bool)
+		if !ok {
+			return &OutputTypeError{Workload: WorkloadMIS, Node: v, Want: "bool", Got: o}
+		}
+		set[v] = b
+	}
+	return mis.Verify(g, set)
+}
+
+func (misWorkload) RunBeep(g *graph.Graph, seed uint64) (*core.Result, error) {
+	set, rounds, err := beepalgs.RunMIS(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]any, len(set))
+	for v, b := range set {
+		outs[v] = b
+	}
+	return &core.Result{BeepRounds: rounds, AllDone: true, Outputs: outs}, nil
+}
+
+// coloringWorkload: randomized (Δ+1)-coloring.
+type coloringWorkload struct{}
+
+func (coloringWorkload) Name() string               { return WorkloadColoring }
+func (coloringWorkload) MsgBits(g *graph.Graph) int { return coloring.MsgBits(g.N(), g.MaxDegree()) }
+func (coloringWorkload) UsesRounds() bool           { return false }
+
+func (coloringWorkload) Budget(g *graph.Graph, rounds int) int { return coloring.MaxRounds(g.N()) }
+
+func (coloringWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return coloring.New(g.N())
+}
+
+func (coloringWorkload) Verify(g *graph.Graph, outputs []any) error {
+	colors := make([]int, len(outputs))
+	for v, o := range outputs {
+		c, ok := o.(int)
+		if !ok {
+			return &OutputTypeError{Workload: WorkloadColoring, Node: v, Want: "int", Got: o}
+		}
+		colors[v] = c
+	}
+	return coloring.Verify(g, colors)
+}
+
+// leaderWorkload: max-ID leader election by flooding, with the
+// conservative diameter bound n (leader.Algorithm's own default).
+type leaderWorkload struct{}
+
+func (leaderWorkload) Name() string               { return WorkloadLeader }
+func (leaderWorkload) MsgBits(g *graph.Graph) int { return leader.MsgBits(g.N()) }
+func (leaderWorkload) UsesRounds() bool           { return false }
+
+func (leaderWorkload) Budget(g *graph.Graph, rounds int) int { return g.N() + 1 }
+
+func (leaderWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return leader.New(g.N(), g.N())
+}
+
+func (leaderWorkload) Verify(g *graph.Graph, outputs []any) error {
+	res := make([]leader.Result, len(outputs))
+	for v, o := range outputs {
+		r, ok := o.(leader.Result)
+		if !ok {
+			return &OutputTypeError{Workload: WorkloadLeader, Node: v, Want: "leader.Result", Got: o}
+		}
+		res[v] = r
+	}
+	return leader.Verify(g, res)
+}
+
+// matchingWorkload: the paper's §6 maximal matching (Algorithm 3).
+type matchingWorkload struct{}
+
+func (matchingWorkload) Name() string               { return WorkloadMatching }
+func (matchingWorkload) MsgBits(g *graph.Graph) int { return matching.MsgBits(g.N()) }
+func (matchingWorkload) UsesRounds() bool           { return false }
+
+func (matchingWorkload) Budget(g *graph.Graph, rounds int) int { return matching.MaxRounds(g.N()) }
+
+func (matchingWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return matching.New(g.N())
+}
+
+func (matchingWorkload) Verify(g *graph.Graph, outputs []any) error {
+	partners := make([]int, len(outputs))
+	for v, o := range outputs {
+		p, ok := o.(int)
+		if !ok {
+			return &OutputTypeError{Workload: WorkloadMatching, Node: v, Want: "int", Got: o}
+		}
+		partners[v] = p
+	}
+	return matching.Verify(g, partners)
+}
+
+// bfstreeWorkload: BFS tree from node 0.
+type bfstreeWorkload struct{}
+
+func (bfstreeWorkload) Name() string               { return WorkloadBFSTree }
+func (bfstreeWorkload) MsgBits(g *graph.Graph) int { return bfstree.MsgBits(g.N()) }
+func (bfstreeWorkload) UsesRounds() bool           { return false }
+
+func (bfstreeWorkload) Budget(g *graph.Graph, rounds int) int { return g.N() + 1 }
+
+func (bfstreeWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return bfstree.New(g.N(), bfsRoot)
+}
+
+func (bfstreeWorkload) Verify(g *graph.Graph, outputs []any) error {
+	res := make([]bfstree.Result, len(outputs))
+	for v, o := range outputs {
+		r, ok := o.(bfstree.Result)
+		if !ok {
+			return &OutputTypeError{Workload: WorkloadBFSTree, Node: v, Want: "bfstree.Result", Got: o}
+		}
+		res[v] = r
+	}
+	return bfstree.Verify(g, bfsRoot, res)
+}

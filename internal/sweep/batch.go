@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/sim"
 )
 
 // Options configures a batch run.
@@ -25,6 +26,12 @@ type Options struct {
 	// By the determinism contract, no setting changes any record.
 	Workers int
 	Shards  int
+	// Artifacts is the batch's shared artifact cache (graphs + code
+	// tables); nil makes Run create a fresh one, so a batch always
+	// builds each graph and code table once. Like the parallelism knobs
+	// it never changes any record — cached artifacts are pure functions
+	// of their keys.
+	Artifacts *sim.Cache
 	// Progress, when non-nil, receives one Event per scenario as it
 	// completes (cache hit or run), serialized — no locking needed.
 	Progress func(Event)
@@ -84,7 +91,11 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 			workers = engine.AutoWorkers
 		}
 	}
-	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards}
+	artifacts := opt.Artifacts
+	if artifacts == nil {
+		artifacts = sim.NewCache()
+	}
+	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts}
 
 	// Duplicate specs inside one batch run once: the first index with a
 	// given hash owns execution, later ones copy its result.

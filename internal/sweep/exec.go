@@ -1,21 +1,18 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
-	"repro/internal/algorithms/mis"
-	"repro/internal/baseline"
-	"repro/internal/beepalgs"
 	"repro/internal/congest"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/wire"
+	"repro/internal/sim"
 )
 
 // ExecOptions are the execution-only knobs: they parallelize a single
-// scenario's per-round engine phases and, by the determinism contract
-// (DESIGN.md §4), never change the Record (WallNanos aside). They are
+// scenario's per-round engine phases or share pure-function artifacts
+// across scenarios and, by the determinism contract (DESIGN.md §4),
+// never change the Record (WallNanos and BuildNanos aside). They are
 // deliberately outside the Scenario spec so the content hash covers
 // inputs only.
 type ExecOptions struct {
@@ -23,15 +20,35 @@ type ExecOptions struct {
 	// engine.AutoWorkers = one per CPU.
 	Workers int
 	Shards  int
+	// Artifacts, when non-nil, shares graphs and code tables across
+	// Execute calls (the batch scheduler passes one cache per batch).
+	// Cached artifacts are pure functions of their keys, so records are
+	// byte-identical with the cache on or off.
+	Artifacts *sim.Cache
 }
 
 // Execute runs one scenario and returns its record. Everything in the
-// record except WallNanos is a deterministic function of the spec.
+// record except WallNanos and BuildNanos is a deterministic function of
+// the spec. The workload and engine are resolved through the
+// internal/sim registries: the workload supplies bandwidth, budget,
+// per-node instances, and output verification; the engine supplies the
+// execution substrate and its engine-specific Extras, which land in the
+// record's typed fields.
 func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	if err := sc.Validate(); err != nil {
 		return Record{}, err
 	}
-	g, err := sc.BuildGraph()
+	wl, ok := sim.WorkloadFor(sc.Workload)
+	if !ok {
+		return Record{}, fmt.Errorf("sweep: unknown workload %q", sc.Workload)
+	}
+	eng, ok := sim.EngineFor(sc.Engine)
+	if !ok {
+		return Record{}, fmt.Errorf("sweep: unknown engine %q", sc.Engine)
+	}
+
+	buildStart := time.Now()
+	g, err := sc.buildGraphCached(opt.Artifacts)
 	if err != nil {
 		return Record{}, fmt.Errorf("sweep: %s: build graph: %w", sc.Hash(), err)
 	}
@@ -41,156 +58,58 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 		Graph: GraphInfo{N: g.N(), MaxDegree: g.MaxDegree(), Edges: g.M()},
 	}
 
-	// Resolve workload: algorithms, bandwidth, and round budget.
+	msgBits := sc.MsgBits
+	if msgBits == 0 {
+		msgBits = wl.MsgBits(g)
+	}
+	budget := wl.Budget(g, sc.Rounds)
 	var algs []congest.BroadcastAlgorithm
-	msgBits, budget := sc.MsgBits, 0
-	switch sc.Workload {
-	case WorkloadGossip:
-		if msgBits == 0 {
-			msgBits = 2 * wire.BitsFor(g.N())
-		}
-		budget = sc.Rounds + 2
-		algs = GossipAlgs(g.N(), sc.Rounds)
-	case WorkloadMIS:
-		if msgBits == 0 {
-			msgBits = mis.MsgBits(g.N())
-		}
-		budget = mis.MaxRounds(g.N())
-		if sc.Engine != EngineBeep {
-			algs = mis.New(g.N())
-		}
-	default:
-		return Record{}, fmt.Errorf("sweep: unknown workload %q", sc.Workload)
+	if eng.DrivesAlgs() {
+		algs = wl.Algs(g, sc.Rounds)
 	}
 
+	inst, err := eng.Prepare(g, sim.Config{
+		MsgBits:     msgBits,
+		Epsilon:     sc.Epsilon,
+		ChannelSeed: sc.ChannelSeed,
+		AlgSeed:     sc.AlgSeed,
+		Workers:     opt.Workers,
+		Shards:      opt.Shards,
+		Workload:    wl,
+		Rounds:      sc.Rounds,
+		Artifacts:   opt.Artifacts,
+	})
+	if err != nil {
+		return Record{}, err
+	}
+	// BuildNanos covers all setup — graph construction, workload
+	// instances, and engine preparation (code tables, TDMA schedule) —
+	// so WallNanos measures the engine run alone and artifact-cache
+	// hits (graphs and code tables) show up as collapsed build times.
+	rec.BuildNanos = time.Since(buildStart).Nanoseconds()
 	start := time.Now()
-	switch sc.Engine {
-	case EngineAlg1:
-		runner, err := core.NewBroadcastRunner(g, core.RunnerConfig{
-			Params:      core.DefaultParams(g.N(), g.MaxDegree(), msgBits, sc.Epsilon),
-			ChannelSeed: sc.ChannelSeed,
-			AlgSeed:     sc.AlgSeed,
-			NoisyOwn:    true,
-			Workers:     opt.Workers,
-			Shards:      opt.Shards,
-		})
-		if err != nil {
-			return Record{}, err
-		}
-		res, err := runner.Run(algs, budget)
-		if err != nil {
-			return Record{}, err
-		}
-		rec.Counters = countersFromCore(res)
-		verifyMIS(sc, g, res.Outputs, &rec.Counters)
+	res, extras, err := inst.Run(algs, budget)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Counters = countersFromCore(res)
+	rec.Counters.Messages = extras[sim.ExtraMessages]
+	rec.Colors = int(extras[sim.ExtraColors])
+	rec.Rho = int(extras[sim.ExtraRho])
+	rec.SetupRounds = int(extras[sim.ExtraSetupRounds])
 
-	case EngineTDMA:
-		bl, err := baseline.NewRunner(g, baseline.Config{
-			MsgBits:     msgBits,
-			Epsilon:     sc.Epsilon,
-			ChannelSeed: sc.ChannelSeed,
-			AlgSeed:     sc.AlgSeed,
-			NoisyOwn:    true,
-			Workers:     opt.Workers,
-			Shards:      opt.Shards,
-		})
-		if err != nil {
-			return Record{}, err
+	// Distill workload-level output validity into Counters.OutputOK.
+	// Workloads without a validity notion (ErrUnverified) leave it nil;
+	// a type mismatch is a wiring bug and fails the scenario with a
+	// typed error rather than crashing the batch worker.
+	if verr := wl.Verify(g, res.Outputs); !errors.Is(verr, sim.ErrUnverified) {
+		var typeErr *sim.OutputTypeError
+		if errors.As(verr, &typeErr) {
+			return Record{}, fmt.Errorf("sweep: %s: %w", sc.Hash(), typeErr)
 		}
-		res, err := bl.Run(algs, budget)
-		if err != nil {
-			return Record{}, err
-		}
-		rec.Counters = countersFromCore(res)
-		verifyMIS(sc, g, res.Outputs, &rec.Counters)
-		rec.Colors = bl.NumColors()
-		rec.Rho = bl.Rho()
-		rec.SetupRounds = baseline.EstimatedSetupRounds(g.N(), g.MaxDegree())
-
-	case EngineCongest:
-		eng, err := congest.NewBroadcastEngine(g, msgBits, sc.AlgSeed)
-		if err != nil {
-			return Record{}, err
-		}
-		eng.SetParallelism(opt.Workers, opt.Shards)
-		res, err := eng.Run(algs, budget)
-		if err != nil {
-			return Record{}, err
-		}
-		rec.Counters = countersFromCongest(res)
-		verifyMIS(sc, g, res.Outputs, &rec.Counters)
-
-	case EngineBeep:
-		// Native beeping MIS; the channel is noiseless and AlgSeed drives
-		// the whole run (there is no separate channel stream).
-		set, rounds, err := beepalgs.RunMIS(g, sc.AlgSeed)
-		if err != nil {
-			return Record{}, err
-		}
-		ok := mis.Verify(g, set) == nil
-		rec.Counters = Counters{Result: core.Result{BeepRounds: rounds, AllDone: true}, OutputOK: &ok}
-
-	default:
-		return Record{}, fmt.Errorf("sweep: unknown engine %q", sc.Engine)
+		outputOK := rec.Counters.AllDone && verr == nil
+		rec.Counters.OutputOK = &outputOK
 	}
 	rec.WallNanos = time.Since(start).Nanoseconds()
 	return rec, nil
-}
-
-// verifyMIS distills per-node outputs into Counters.OutputOK for the MIS
-// workload (no-op for workloads without an output validity notion).
-func verifyMIS(sc Scenario, g *graph.Graph, outputs []any, c *Counters) {
-	if sc.Workload != WorkloadMIS {
-		return
-	}
-	set := make([]bool, len(outputs))
-	for v, o := range outputs {
-		set[v] = o.(bool)
-	}
-	ok := c.AllDone && mis.Verify(g, set) == nil
-	c.OutputOK = &ok
-}
-
-// gossip broadcasts the node ID every round for a fixed number of
-// rounds; it is the canonical "one Broadcast CONGEST round" workload
-// (formerly internal/experiments' idGossip).
-type gossip struct {
-	env    congest.Env
-	rounds int
-	seen   int
-	done   bool
-}
-
-func (g *gossip) Init(env congest.Env) {
-	g.env = env
-	if g.rounds == 0 {
-		g.rounds = 1
-	}
-}
-
-func (g *gossip) Broadcast(round int) congest.Message {
-	var w wire.Writer
-	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
-	return w.PaddedBytes(g.env.MsgBits)
-}
-
-func (g *gossip) Receive(round int, msgs []congest.Message) {
-	g.seen++
-	if g.seen >= g.rounds {
-		g.done = true
-	}
-}
-
-func (g *gossip) Done() bool  { return g.done }
-func (g *gossip) Output() any { return g.seen }
-
-// GossipAlgs returns the per-node gossip workload. Exported so
-// experiment ablations that need non-default core.Params (outside the
-// Scenario vocabulary) can run the same workload the sweep runs.
-func GossipAlgs(n, rounds int) []congest.BroadcastAlgorithm {
-	algs := make([]congest.BroadcastAlgorithm, n)
-	for v := range algs {
-		algs[v] = &gossip{rounds: rounds}
-	}
-	return algs
 }

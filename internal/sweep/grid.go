@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Grid is a declarative scenario family: the cross product of its axes.
@@ -82,8 +83,8 @@ func (g Grid) Expand() ([]Scenario, error) {
 	var out []Scenario
 	for _, wl := range workloads {
 		wlRounds := rounds
-		if wl == WorkloadMIS {
-			wlRounds = 0 // MIS sizes its own budget (Scenario contract)
+		if w, ok := sim.WorkloadFor(wl); ok && !w.UsesRounds() {
+			wlRounds = 0 // self-budgeting workloads require Rounds 0 (Scenario contract)
 		}
 		for _, fam := range families {
 			famNs := ns
@@ -106,7 +107,7 @@ func (g Grid) Expand() ([]Scenario, error) {
 							// in-batch dedup runs the engine once instead
 							// of attributing noise rates to a noiseless
 							// execution.
-							native := eng == EngineCongest || eng == EngineBeep
+							native := sim.IsNative(eng)
 							if native {
 								eps = 0
 							}

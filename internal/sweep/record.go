@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/congest"
 	"repro/internal/core"
 )
 
@@ -41,16 +40,6 @@ func countersFromCore(res *core.Result) Counters {
 	return Counters{Result: r}
 }
 
-// countersFromCongest projects a native Broadcast CONGEST result onto
-// Counters (no beeps, no decode errors — natively delivered messages
-// cannot err).
-func countersFromCongest(res *congest.Result) Counters {
-	return Counters{
-		Result:   core.Result{SimRounds: res.Rounds, AllDone: res.AllDone},
-		Messages: res.Messages,
-	}
-}
-
 // Record is one scenario's persisted result: the JSONL unit of the
 // result store. Everything except WallNanos is a pure function of the
 // spec, so a Record served from cache is bit-identical to a fresh run.
@@ -69,10 +58,16 @@ type Record struct {
 	Colors      int `json:"colors,omitempty"`
 	Rho         int `json:"rho,omitempty"`
 	SetupRounds int `json:"setup_rounds,omitempty"`
-	// WallNanos is the measured wall time of the engine run (the one
-	// non-deterministic field; excluded from any equality the cache
-	// relies on because cached records are never re-measured).
-	WallNanos int64 `json:"wall_nanos"`
+	// WallNanos is the measured wall time of the engine run alone and
+	// BuildNanos that of everything before it — graph construction,
+	// workload instances, and engine preparation (code tables, TDMA
+	// schedule). They are the non-deterministic fields, excluded from
+	// any equality the cache relies on because cached records are never
+	// re-measured. Keeping setup out of WallNanos (and near zero on
+	// artifact-cache hits) makes cache effectiveness visible in the
+	// aggregates' build-time column.
+	WallNanos  int64 `json:"wall_nanos"`
+	BuildNanos int64 `json:"build_nanos,omitempty"`
 }
 
 // BeepsPerSimRound is the overhead metric of Theorem 11: physical beep

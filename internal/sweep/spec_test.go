@@ -126,6 +126,7 @@ func TestExecuteDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	a.WallNanos, b.WallNanos = 0, 0
+	a.BuildNanos, b.BuildNanos = 0, 0
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("executions differ:\n %+v\n %+v", a, b)
 	}

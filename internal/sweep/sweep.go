@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Graph families a Scenario can name. Param is the family parameter:
@@ -47,18 +48,24 @@ const (
 	FamilyComplete  = "complete"  // K_N
 )
 
-// Engines a Scenario can run on.
+// Engines a Scenario can run on: the internal/sim engine registry,
+// whose canonical names are re-exported here so the spec vocabulary
+// (and every content hash derived from it) is stable.
 const (
-	EngineAlg1    = "alg1"    // the paper's Algorithm 1 simulation (internal/core)
-	EngineTDMA    = "tdma"    // prior-work G²-coloring baseline (internal/baseline)
-	EngineCongest = "congest" // native Broadcast CONGEST (internal/congest), no beeps
-	EngineBeep    = "beep"    // native beeping algorithm (internal/beepalgs)
+	EngineAlg1    = sim.EngineAlg1    // the paper's Algorithm 1 simulation (internal/core)
+	EngineTDMA    = sim.EngineTDMA    // prior-work G²-coloring baseline (internal/baseline)
+	EngineCongest = sim.EngineCongest // native Broadcast CONGEST (internal/congest), no beeps
+	EngineBeep    = sim.EngineBeep    // native beeping algorithm (internal/beepalgs)
 )
 
-// Workloads a Scenario can execute.
+// Workloads a Scenario can execute: the internal/sim workload registry.
 const (
-	WorkloadGossip = "gossip" // ID broadcast every round — the canonical one-round probe
-	WorkloadMIS    = "mis"    // maximal independent set (Luby over CONGEST, Afek et al. natively)
+	WorkloadGossip   = sim.WorkloadGossip   // ID broadcast every round — the canonical one-round probe
+	WorkloadMIS      = sim.WorkloadMIS      // maximal independent set (Luby over CONGEST, Afek et al. natively)
+	WorkloadColoring = sim.WorkloadColoring // randomized (Δ+1)-coloring
+	WorkloadLeader   = sim.WorkloadLeader   // max-ID leader election by flooding
+	WorkloadMatching = sim.WorkloadMatching // the paper's §6 maximal matching
+	WorkloadBFSTree  = sim.WorkloadBFSTree  // BFS tree from node 0
 )
 
 // Scenario is one fully-specified run: the declarative unit the sweep
@@ -81,11 +88,15 @@ type Scenario struct {
 	Engine string `json:"engine"`
 	// Workload selects the per-node algorithm (Workload* constants).
 	Workload string `json:"workload"`
-	// Rounds is the simulated-round count for WorkloadGossip (budget is
-	// Rounds+2); WorkloadMIS sizes its own budget and requires Rounds 0.
+	// Rounds is the simulated-round count for rounds-parameterized
+	// workloads (gossip, whose budget is Rounds+2). Self-budgeting
+	// workloads — everything whose registered sim.Workload reports
+	// UsesRounds() false: mis, coloring, leader, matching, bfstree —
+	// size their own budgets and require Rounds 0.
 	Rounds int `json:"rounds,omitempty"`
-	// MsgBits is the CONGEST bandwidth; 0 selects the workload default
-	// (2·⌈log₂n⌉ for gossip, the MIS encoding width for mis).
+	// MsgBits is the CONGEST bandwidth; 0 selects the workload's
+	// registered default (e.g. 2·⌈log₂n⌉ for gossip, each algorithm
+	// package's MsgBits for the rest).
 	MsgBits int `json:"msg_bits,omitempty"`
 	// Replicate tags seed replicates expanded from a Grid; informational
 	// (the seeds below already differ per replicate) but part of the hash.
@@ -108,18 +119,11 @@ func derivedN(family string) bool {
 	return false
 }
 
-// Supports reports whether the engine can execute the workload: the
-// native beeping engine only runs natively-beeping workloads (MIS), and
-// every CONGEST-level engine runs every CONGEST-level workload.
-func Supports(engine, workload string) bool {
-	switch engine {
-	case EngineBeep:
-		return workload == WorkloadMIS
-	case EngineAlg1, EngineTDMA, EngineCongest:
-		return workload == WorkloadGossip || workload == WorkloadMIS
-	}
-	return false
-}
+// Supports reports whether the engine can execute the workload, per the
+// internal/sim registries: the native beeping engine runs exactly the
+// workloads with a native beeping implementation (sim.NativeBeeper),
+// and every CONGEST-level engine runs every registered workload.
+func Supports(engine, workload string) bool { return sim.Supports(engine, workload) }
 
 // Validate checks the spec is executable.
 func (sc Scenario) Validate() error {
@@ -142,18 +146,22 @@ func (sc Scenario) Validate() error {
 	default:
 		return fmt.Errorf("sweep: unknown family %q", sc.Family)
 	}
+	wl, ok := sim.WorkloadFor(sc.Workload)
+	if !ok {
+		return fmt.Errorf("sweep: unknown workload %q", sc.Workload)
+	}
+	if _, ok := sim.EngineFor(sc.Engine); !ok {
+		return fmt.Errorf("sweep: unknown engine %q", sc.Engine)
+	}
 	if !Supports(sc.Engine, sc.Workload) {
 		return fmt.Errorf("sweep: engine %q does not support workload %q", sc.Engine, sc.Workload)
 	}
-	switch sc.Workload {
-	case WorkloadGossip:
+	if wl.UsesRounds() {
 		if sc.Rounds < 1 {
-			return fmt.Errorf("sweep: workload gossip needs Rounds ≥ 1, got %d", sc.Rounds)
+			return fmt.Errorf("sweep: workload %s needs Rounds ≥ 1, got %d", sc.Workload, sc.Rounds)
 		}
-	case WorkloadMIS:
-		if sc.Rounds != 0 {
-			return fmt.Errorf("sweep: workload mis sizes its own budget; set Rounds = 0, got %d", sc.Rounds)
-		}
+	} else if sc.Rounds != 0 {
+		return fmt.Errorf("sweep: workload %s sizes its own budget; set Rounds = 0, got %d", sc.Workload, sc.Rounds)
 	}
 	if sc.Epsilon < 0 || sc.Epsilon >= 0.5 {
 		return fmt.Errorf("sweep: ε = %v outside [0, 0.5)", sc.Epsilon)
@@ -177,6 +185,17 @@ func (sc Scenario) Hash() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:16])
+}
+
+// buildGraphCached is BuildGraph through the batch artifact cache: the
+// graph is a pure function of (Family, N, Param, GraphSeed) — exactly a
+// sim.GraphKey — so scenarios differing only in other axes share one
+// instance. A nil cache builds directly.
+func (sc Scenario) buildGraphCached(cache *sim.Cache) (*graph.Graph, error) {
+	return cache.Graph(
+		sim.GraphKey{Family: sc.Family, N: sc.N, Param: sc.Param, Seed: sc.GraphSeed},
+		sc.BuildGraph,
+	)
 }
 
 // BuildGraph constructs the scenario's graph from Family, N, Param, and
