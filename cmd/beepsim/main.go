@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/noise"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -39,7 +40,8 @@ func main() {
 		q         = flag.Int("q", 5, "projective plane order (graph=pg)")
 		algName   = flag.String("alg", "matching", "algorithm: "+strings.Join(sim.WorkloadNames(), "|"))
 		model     = flag.String("model", "beep", "execution model: native|beep")
-		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model)")
+		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model, symmetric channel)")
+		noiseSpec = flag.String("noise", "", "channel-noise model spec ("+strings.Join(noise.Names(), ", ")+"); empty = symmetric ε channel, e.g. gilbert-elliott:0.01:0.3:0.05:0.25")
 		rounds    = flag.Int("rounds", 3, "round count for rounds-parameterized algorithms (gossip)")
 		seed      = flag.Uint64("seed", 1, "seed")
 		workers   = flag.Int("workers", 1, "simulation workers: 1 = serial, 0 = one per CPU")
@@ -50,7 +52,7 @@ func main() {
 	if w == 0 {
 		w = engine.AutoWorkers
 	}
-	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *rounds, *seed, w, *shards); err != nil {
+	if err := run(*graphKind, *n, *delta, *q, *algName, *model, *eps, *noiseSpec, *rounds, *seed, w, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "beepsim:", err)
 		os.Exit(1)
 	}
@@ -96,7 +98,7 @@ func engineName(model string) (string, error) {
 	}
 }
 
-func run(graphKind string, n, delta, q int, algName, model string, eps float64, rounds int, seed uint64, workers, shards int) error {
+func run(graphKind string, n, delta, q int, algName, model string, eps float64, noiseSpec string, rounds int, seed uint64, workers, shards int) error {
 	g, err := buildGraph(graphKind, n, delta, q, seed)
 	if err != nil {
 		return err
@@ -110,6 +112,29 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 		return err
 	}
 	eng, _ := sim.EngineFor(en)
+	chanLabel := fmt.Sprintf("symmetric ε=%.2f", eps)
+	if noiseSpec == noise.NameSymmetric {
+		noiseSpec = "" // bare "symmetric" = the -eps channel, as in cmd/sweep
+	}
+	if noiseSpec != "" {
+		m, err := noise.Parse(noiseSpec)
+		if err != nil {
+			return err
+		}
+		if m.Name() == noise.NameSymmetric {
+			// One canonical spelling: the symmetric channel is -eps.
+			eps = m.(noise.Symmetric).Eps
+			noiseSpec = ""
+			chanLabel = fmt.Sprintf("symmetric ε=%.2f", eps)
+		} else {
+			noiseSpec = m.Spec()
+			eps = 0 // the model owns the channel
+			chanLabel = noiseSpec
+		}
+		if !sim.SupportsNoise(en, noiseSpec) {
+			return fmt.Errorf("engine %q does not support channel model %q", en, noiseSpec)
+		}
+	}
 	if !wl.UsesRounds() {
 		rounds = 0
 	}
@@ -120,6 +145,7 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 	inst, err := eng.Prepare(g, sim.Config{
 		MsgBits:     msgBits,
 		Epsilon:     eps,
+		Noise:       noiseSpec,
 		ChannelSeed: seed,
 		AlgSeed:     seed,
 		Workers:     workers,
@@ -143,8 +169,8 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 		if res.SimRounds > 0 {
 			perRound = res.BeepRounds / res.SimRounds
 		}
-		fmt.Printf("noisy beeping model (ε=%.2f): %d simulated rounds, %d beep rounds (%d per round), %d beeps\n",
-			eps, res.SimRounds, res.BeepRounds, perRound, res.Beeps)
+		fmt.Printf("noisy beeping model (%s): %d simulated rounds, %d beep rounds (%d per round), %d beeps\n",
+			chanLabel, res.SimRounds, res.BeepRounds, perRound, res.Beeps)
 		fmt.Printf("decode errors: %d message, %d membership (node·rounds)\n",
 			res.MessageErrors, res.MembershipErrors)
 	}

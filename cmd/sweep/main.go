@@ -15,6 +15,18 @@
 //	      -engine alg1,tdma -workload gossip,coloring -rounds 3 \
 //	      -replicates 3 -seed 2023 -store results.jsonl -jobs 0 -v
 //
+// The channel is an axis too: -noise lists channel models (specs are
+// colon-separated so they compose with the comma-separated axis), e.g.
+//
+//	sweep -family regular -n 64 -delta 4 \
+//	      -noise symmetric,gilbert-elliott:0.01:0.3:0.05:0.25 -eps 0.05 \
+//	      -engine alg1,tdma -workload gossip -replicates 4
+//
+// compares the i.i.d. symmetric channel at ε = 0.05 against burst noise
+// with the matching stationary rate. Non-symmetric models own their
+// parameters, so the ε axis collapses under them (and under the native
+// engines); Expand deduplicates the collapsed grid points.
+//
 // The final stderr line reports cache effectiveness, e.g.
 // "sweep: total=48 cached=48 run=0 failed=0 wall=12ms" — a second run of
 // the same grid performs zero engine work.
@@ -28,6 +40,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -37,7 +50,8 @@ func main() {
 		families   = flag.String("family", "regular", "comma-separated graph families (regular, bounded, pg, grid, hypercube, hard, complete)")
 		ns         = flag.String("n", "64", "comma-separated node counts (ignored by families that derive n)")
 		deltas     = flag.String("delta", "4", "comma-separated family parameters (Δ; q for pg, side for grid, dim for hypercube)")
-		epss       = flag.String("eps", "0.05", "comma-separated channel noise rates")
+		epss       = flag.String("eps", "0.05", "comma-separated channel noise rates (symmetric channel)")
+		noises     = flag.String("noise", "", "comma-separated channel-noise models ("+strings.Join(noise.Names(), ", ")+"); empty/symmetric uses -eps, e.g. asymmetric:p01:p10, erasure:q:readAs, gilbert-elliott:pGood:pBad:pGB:pBG")
 		engines    = flag.String("engine", "alg1", "comma-separated engines ("+strings.Join(sim.EngineNames(), ", ")+")")
 		workloads  = flag.String("workload", "gossip", "comma-separated workloads ("+strings.Join(sim.WorkloadNames(), ", ")+")")
 		rounds     = flag.Int("rounds", 3, "gossip rounds per scenario")
@@ -57,6 +71,7 @@ func main() {
 		Families:   splitList(*families),
 		Engines:    splitList(*engines),
 		Workloads:  splitList(*workloads),
+		Noises:     splitList(*noises),
 		Rounds:     *rounds,
 		MsgBits:    *msgBits,
 		Replicates: *replicates,
@@ -129,15 +144,19 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 
 func printAggregate(w *os.File, groups []sweep.Group) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tengine\tfamily\tn\tparam\teps\treps\tbeep rounds (mean)\tbeeps/sim round (mean)\tmsg err (mean)\tmem err (mean)\tenergy (mean)\twall ms (p50/p90)\tbuild ms (mean)")
+	fmt.Fprintln(tw, "workload\tengine\tfamily\tn\tparam\teps\tnoise\treps\tbeep rounds (mean)\tbeeps/sim round (mean)\tmsg err (mean)\tmem err (mean)\tenergy (mean)\twall ms (p50/p90)\tbuild ms (mean)")
 	for _, g := range groups {
 		k := g.Key
 		n := k.N
 		if n == 0 && len(g.Records) > 0 {
 			n = g.Records[0].Graph.N // derived-N families: report the realized size
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2f\t%d\t%.0f\t%.0f\t%.4f\t%.4f\t%.0f\t%.0f/%.0f\t%.2f\n",
-			k.Workload, k.Engine, k.Family, n, k.Param, k.Epsilon,
+		noiseCol := k.Noise
+		if noiseCol == "" {
+			noiseCol = "symmetric"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2f\t%s\t%d\t%.0f\t%.0f\t%.4f\t%.4f\t%.0f\t%.0f/%.0f\t%.2f\n",
+			k.Workload, k.Engine, k.Family, n, k.Param, k.Epsilon, noiseCol,
 			g.BeepRounds.Count, g.BeepRounds.Mean, g.PerSimRound.Mean,
 			g.MsgErr.Mean, g.MemErr.Mean, g.Beeps.Mean, g.WallMS.P50, g.WallMS.P90,
 			g.BuildMS.Mean)

@@ -19,6 +19,7 @@ package baseline
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/beep"
 	"repro/internal/bitstring"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/noise"
 	"repro/internal/wire"
 )
 
@@ -36,8 +38,14 @@ type Config struct {
 	// Rho is the per-bit repetition count (odd); 0 selects a default
 	// calibrated to Epsilon.
 	Rho int
-	// Epsilon is the channel noise rate.
+	// Epsilon is the channel noise rate of the default symmetric
+	// channel; leave it 0 when Noise is set.
 	Epsilon float64
+	// Noise is the canonical channel-model spec (internal/noise.Parse);
+	// empty selects the symmetric{Epsilon} channel. A non-empty spec
+	// owns the channel, and the default ρ calibrates against the
+	// model's worst marginal flip rate.
+	Noise string
 	// ChannelSeed and AlgSeed mirror core.RunnerConfig.
 	ChannelSeed uint64
 	AlgSeed     uint64
@@ -101,19 +109,39 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 	if cfg.MsgBits <= 0 {
 		return nil, fmt.Errorf("baseline: MsgBits = %d", cfg.MsgBits)
 	}
+	var model noise.Model
+	calibEps := cfg.Epsilon
+	if cfg.Noise != "" {
+		if cfg.Epsilon != 0 {
+			return nil, fmt.Errorf("baseline: both ε = %v and channel %s given; the model owns the channel, leave ε 0", cfg.Epsilon, cfg.Noise)
+		}
+		var err error
+		if model, err = noise.Parse(cfg.Noise); err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		p01, p10 := model.FlipRates()
+		calibEps = math.Max(p01, p10)
+		if calibEps >= 0.5 {
+			return nil, fmt.Errorf("baseline: channel %s: marginal flip rate %v outside [0, 0.5)", cfg.Noise, calibEps)
+		}
+	}
 	if cfg.Rho == 0 {
-		cfg.Rho = DefaultRho(cfg.Epsilon)
+		cfg.Rho = DefaultRho(calibEps)
 	}
 	if cfg.Rho < 1 || cfg.Rho%2 == 0 {
 		return nil, fmt.Errorf("baseline: repetition ρ = %d must be odd and positive", cfg.Rho)
 	}
-	nw, err := beep.NewNetwork(g, beep.Params{
+	beepParams := beep.Params{
 		Epsilon:  cfg.Epsilon,
 		NoisyOwn: cfg.NoisyOwn,
 		Seed:     cfg.ChannelSeed,
 		Workers:  cfg.Workers,
 		Shards:   cfg.Shards,
-	})
+	}
+	if model != nil {
+		beepParams.Epsilon, beepParams.Noise = 0, model
+	}
+	nw, err := beep.NewNetwork(g, beepParams)
 	if err != nil {
 		return nil, err
 	}

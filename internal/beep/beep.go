@@ -2,7 +2,10 @@
 // rounds in which each node either beeps or listens, listeners hear a beep
 // iff at least one neighbor beeped, and — in the noisy model of Ashkenazi,
 // Gelles & Leshem — every received bit is flipped independently with
-// probability ε ∈ [0, ½).
+// probability ε ∈ [0, ½). The channel is pluggable (Params.Noise): any
+// internal/noise model — asymmetric, erasure, Gilbert–Elliott burst
+// noise — can replace the default symmetric{ε} channel, through the same
+// two execution paths and with the same determinism guarantees.
 //
 // Reception follows the paper's §1.5 convention: a node "receives 1" in a
 // round if it beeps itself or hears a beep, and 0 otherwise; in the noisy
@@ -33,6 +36,7 @@ import (
 	"repro/internal/bitstring"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/noise"
 	"repro/internal/rng"
 )
 
@@ -77,8 +81,13 @@ type Program interface {
 // Params configures a beeping network.
 type Params struct {
 	// Epsilon is the noise probability ε ∈ [0, ½). Zero selects the
-	// noiseless model.
+	// noiseless model. It parameterizes the default symmetric channel;
+	// leave it 0 when Noise is set.
 	Epsilon float64
+	// Noise selects a non-default channel-noise model (internal/noise).
+	// Nil means the symmetric{Epsilon} channel, bit-for-bit the historic
+	// behavior. A non-nil model owns the channel: Epsilon must be 0.
+	Noise noise.Model
 	// NoisyOwn applies channel noise to a beeping node's own reception,
 	// matching the paper's analysis convention. When false, a node that
 	// beeps receives a clean 1.
@@ -109,9 +118,14 @@ type Network struct {
 	params Params
 	pool   *engine.Pool
 
+	// model is the resolved channel (params.Noise, or symmetric{ε});
+	// noisy caches whether it can flip any bit at all.
+	model noise.Model
+	noisy bool
+
 	round      int
 	totalBeeps int64
-	noise      []*rng.FlipSampler
+	noise      []noise.Sampler
 	history    []*bitstring.BitString
 
 	// Reusable batch-phase state: the span callback is built once and
@@ -129,11 +143,24 @@ func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
 	if params.Epsilon < 0 || params.Epsilon >= 0.5 {
 		return nil, fmt.Errorf("beep: ε = %v outside [0, 0.5)", params.Epsilon)
 	}
+	model := params.Noise
+	if model == nil {
+		model = noise.Symmetric{Eps: params.Epsilon}
+	} else {
+		if params.Epsilon != 0 {
+			return nil, fmt.Errorf("beep: both Epsilon = %v and Noise = %s set; the model owns the channel, leave ε 0", params.Epsilon, model.Spec())
+		}
+		if err := model.Validate(); err != nil {
+			return nil, fmt.Errorf("beep: %w", err)
+		}
+	}
 	return &Network{
 		g:      g,
 		params: params,
 		pool:   engine.NewPool(params.Workers, params.Shards),
-		noise:  make([]*rng.FlipSampler, g.N()),
+		model:  model,
+		noisy:  !noise.Noiseless(model),
+		noise:  make([]noise.Sampler, g.N()),
 	}, nil
 }
 
@@ -190,9 +217,9 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 	for v, p := range progs {
 		p.Init(nw.NodeEnv(v))
 	}
-	if nw.params.Epsilon > 0 {
+	if nw.noisy {
 		// Materialize samplers before the parallel phases; creation is a
-		// pure function of (seed, v), so the order is immaterial.
+		// pure function of (model, seed, v), so the order is immaterial.
 		for v := 0; v < n; v++ {
 			nw.noiseSampler(v)
 		}
@@ -257,7 +284,6 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 // reception of node v is bit v&63 of (heard|beeped)'s word v>>6.
 func (nw *Network) hearRange(progs []Program, beeped, heard *bitstring.BitString, localRound, lo, hi int) {
 	hw, bw := heard.Words(), beeped.Words()
-	noisy := nw.params.Epsilon > 0
 	for v := lo; v < hi; v++ {
 		p := progs[v]
 		if p.Done() {
@@ -265,8 +291,11 @@ func (nw *Network) hearRange(progs []Program, beeped, heard *bitstring.BitString
 		}
 		mask := uint64(1) << (uint(v) & 63)
 		bit := (hw[v>>6]|bw[v>>6])&mask != 0
-		if noisy && nw.flipAt(v, nw.round, bw[v>>6]&mask != 0) {
-			bit = !bit
+		if nw.noisy {
+			protected := bw[v>>6]&mask != 0 && !nw.params.NoisyOwn
+			if nw.noiseSampler(v).FlipAt(nw.round, bit, protected) {
+				bit = !bit
+			}
 		}
 		p.Hear(localRound, bit)
 	}
@@ -325,7 +354,7 @@ func (nw *Network) RunPhaseInto(patterns, dst []*bitstring.BitString) error {
 			nw.totalBeeps += int64(patterns[v].Ones())
 		}
 	}
-	if nw.params.Epsilon > 0 && nw.pool.Parallel() {
+	if nw.noisy && nw.pool.Parallel() {
 		// Pre-create noise samplers (lazy creation inside the phase would
 		// be per-slot too, but keeping it here makes the invariant obvious).
 		for v := 0; v < n; v++ {
@@ -394,54 +423,26 @@ func (nw *Network) receiveInto(v int, patterns []*bitstring.BitString, length in
 			acc.OrInPlace(p)
 		}
 	}
-	if nw.params.Epsilon > 0 {
-		fs := nw.noiseSampler(v)
-		if nw.params.NoisyOwn || patterns[v] == nil {
-			// Every slot in the window is noisy, so the flips XOR straight
-			// into the reception words — the batch sampler consumes the
-			// stream exactly like the scalar loop below.
-			fs.XorFlipsInto(acc.Words(), nw.round, nw.round+length)
-			return
+	if nw.noisy {
+		// The sampler perturbs the pre-noise reception in place; protect
+		// marks the node's own beep slots when the NoisyOwn convention
+		// exempts them (the sampler still consumes its randomness for
+		// protected slots, so downstream noise is unaffected).
+		var protect []uint64
+		if !nw.params.NoisyOwn && patterns[v] != nil {
+			protect = patterns[v].Words()
 		}
-		for {
-			abs, ok := fs.Next(nw.round + length)
-			if !ok {
-				break
-			}
-			if abs < nw.round {
-				continue // positions consumed by earlier windows
-			}
-			pos := abs - nw.round
-			if patterns[v].Get(pos) && !nw.params.NoisyOwn {
-				continue // own beep, noise-free reception convention
-			}
-			acc.Flip(pos)
-		}
+		nw.noiseSampler(v).ApplyInto(acc.Words(), nw.round, nw.round+length, protect)
 	}
 }
 
-// flipAt reports whether node v's reception at absolute round t is flipped
-// by noise, honoring NoisyOwn for beeping nodes. It must consume sampler
-// positions identically to RunPhase so the two paths agree.
-func (nw *Network) flipAt(v, t int, beepedSelf bool) bool {
-	if nw.params.Epsilon <= 0 {
-		return false
-	}
-	fs := nw.noiseSampler(v)
-	for fs.Peek() < t {
-		fs.Skip()
-	}
-	if fs.Peek() != t {
-		return false
-	}
-	fs.Skip()
-	return !beepedSelf || nw.params.NoisyOwn
-}
-
-func (nw *Network) noiseSampler(v int) *rng.FlipSampler {
+// noiseSampler lazily binds the channel model to node v's private
+// randomness. The symmetric model derives and consumes its stream
+// exactly as the pre-model ε channel did, so symmetric runs are
+// byte-identical across the pluggable-model refactor.
+func (nw *Network) noiseSampler(v int) noise.Sampler {
 	if nw.noise[v] == nil {
-		stream := rng.New(nw.params.Seed).Split(0x6e6f697365, uint64(v)) // "noise"
-		nw.noise[v] = rng.NewFlipSampler(stream, nw.params.Epsilon)
+		nw.noise[v] = nw.model.Sampler(nw.params.Seed, v)
 	}
 	return nw.noise[v]
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestMembershipThresholdNoise: under a pluggable channel θ calibrates
+// against the model's missed-beep rate p10, and reduces to the ε math
+// for the symmetric channel.
+func TestMembershipThresholdNoise(t *testing.T) {
+	base := DefaultParams(32, 4, 10, 0.2)
+	symTheta := base.MembershipThreshold()
+
+	// An asymmetric channel with p10 = 0.2 must calibrate like ε = 0.2,
+	// whatever its false-positive rate.
+	asym := base
+	asym.Noise = "asymmetric:0.05:0.2"
+	if got := asym.MembershipThreshold(); got != symTheta {
+		t.Errorf("asymmetric p10=0.2 θ = %d, want symmetric ε=0.2 θ = %d", got, symTheta)
+	}
+
+	// Erasure read-as-1 never loses beeps: p10 = 0, so θ matches ε = 0.
+	noiseless := DefaultParams(32, 4, 10, 0)
+	noiseless.R = base.R // hold W fixed; only the rate may move θ
+	er := base
+	er.Noise = "erasure:0.2:1"
+	if got, want := er.MembershipThreshold(), noiseless.MembershipThreshold(); got != want {
+		t.Errorf("erasure read-as-1 θ = %d, want p10=0 θ = %d", got, want)
+	}
+
+	if base.MembershipThreshold() != symTheta {
+		t.Error("threshold of the base params drifted")
+	}
+}
+
+// TestDefaultParamsNoise: the empty spec is DefaultParams exactly; a
+// model spec replaces ε with the model's worst marginal rate for the
+// repetition calibration and rides along canonically.
+func TestDefaultParamsNoise(t *testing.T) {
+	plain, err := DefaultParamsNoise(64, 4, 12, 0.1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != DefaultParams(64, 4, 12, 0.1) {
+		t.Errorf("empty spec diverged from DefaultParams: %+v", plain)
+	}
+
+	// π_B = 1/6, rate = (5/6)·0.02 + (1/6)·0.3 ≈ 0.0667 → the ε<0.07
+	// band of the repetition table.
+	burst, err := DefaultParamsNoise(64, 4, 12, 0, "gilbert-elliott:0.020:0.3:0.05:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultParams(64, 4, 12, 0.0667).R; burst.R != want {
+		t.Errorf("burst R = %d, want rate-calibrated %d", burst.R, want)
+	}
+	if burst.Noise != "gilbert-elliott:0.02:0.3:0.05:0.25" {
+		t.Errorf("spec not canonicalized: %q", burst.Noise)
+	}
+	if err := burst.Validate(64, 4); err != nil {
+		t.Errorf("derived params invalid: %v", err)
+	}
+
+	if _, err := DefaultParamsNoise(64, 4, 12, 0, "bogus:1"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := DefaultParamsNoise(64, 4, 12, 0.3, "erasure:0.1:0"); err == nil {
+		t.Error("nonzero ε alongside a channel model accepted (double specification)")
+	}
+}
+
+// TestValidateNoiseSpec: Params validation rejects malformed and
+// non-canonical channel specs (the Codes cache keys on Params, so one
+// channel must have one spelling).
+func TestValidateNoiseSpec(t *testing.T) {
+	p := DefaultParams(32, 4, 10, 0)
+	p.Noise = "asymmetric:0.05:0.2"
+	if err := p.Validate(32, 4); err != nil {
+		t.Fatalf("valid noise spec rejected: %v", err)
+	}
+	for _, spec := range []string{"nope:1", "asymmetric:0.050:0.2", "asymmetric:0.9:0.1"} {
+		q := p
+		q.Noise = spec
+		if err := q.Validate(32, 4); err == nil {
+			t.Errorf("spec %q passed validation", spec)
+		}
+	}
+}

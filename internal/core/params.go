@@ -25,6 +25,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/noise"
 )
 
 // Assignment selects how nodes obtain their beep-code codewords.
@@ -60,7 +62,16 @@ type Params struct {
 	// M is the codebook size. AssignByID requires M ≥ n.
 	M int
 	// Epsilon is the channel noise rate the decoder is calibrated for.
+	// When Noise is set it is the model's worst marginal flip rate
+	// (DefaultParamsNoise derives it), kept so the repetition and
+	// validation math stay meaningful.
 	Epsilon float64
+	// Noise is the canonical channel-model spec (internal/noise.Parse);
+	// empty selects the symmetric{Epsilon} channel, bit-for-bit the
+	// historic behavior. The spec is part of the parameterization's
+	// identity: decode tables built for one channel are cached and
+	// validated under (Params including Noise).
+	Noise string
 	// Assignment selects codeword assignment (default AssignByID).
 	Assignment Assignment
 	// Seed derives the public codebook and distance-code permutation
@@ -112,6 +123,36 @@ func DefaultParams(n, maxDeg, msgBits int, eps float64) Params {
 	}
 }
 
+// DefaultParamsNoise is DefaultParams generalized to a pluggable channel
+// model: an empty spec is exactly DefaultParams(n, maxDeg, msgBits, eps);
+// a non-empty spec (internal/noise.Parse) replaces eps with the model's
+// worst marginal flip rate for the repetition-factor calibration and
+// rides along in Params.Noise, where the membership threshold θ and the
+// beeping channel itself consult it.
+func DefaultParamsNoise(n, maxDeg, msgBits int, eps float64, spec string) (Params, error) {
+	if spec == "" {
+		return DefaultParams(n, maxDeg, msgBits, eps), nil
+	}
+	if eps != 0 {
+		// Same contract as beep.NewNetwork: a model owns the channel, a
+		// nonzero ε alongside it is a double specification, not an input
+		// to silently drop.
+		return Params{}, fmt.Errorf("core: both ε = %v and channel %s given; the model owns the channel, pass ε 0", eps, spec)
+	}
+	m, err := noise.Parse(spec)
+	if err != nil {
+		return Params{}, fmt.Errorf("core: %w", err)
+	}
+	p01, p10 := m.FlipRates()
+	rate := math.Max(p01, p10)
+	if rate >= 0.5 {
+		return Params{}, fmt.Errorf("core: channel %s: marginal flip rate %v outside [0, 0.5)", m.Spec(), rate)
+	}
+	p := DefaultParams(n, maxDeg, msgBits, rate)
+	p.Noise = m.Spec() // canonical spelling, whatever the caller wrote
+	return p, nil
+}
+
 // Validate checks p for a graph with n nodes and maximum degree maxDeg.
 func (p Params) Validate(n, maxDeg int) error {
 	if p.MsgBits <= 0 {
@@ -128,6 +169,19 @@ func (p Params) Validate(n, maxDeg int) error {
 	}
 	if p.Epsilon < 0 || p.Epsilon >= 0.5 {
 		return fmt.Errorf("core: ε = %v outside [0, 0.5)", p.Epsilon)
+	}
+	if p.Noise != "" {
+		m, err := noise.Parse(p.Noise)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if spec := m.Spec(); spec != p.Noise {
+			return fmt.Errorf("core: noise spec %q is not canonical (want %q)", p.Noise, spec)
+		}
+		p01, p10 := m.FlipRates()
+		if r := math.Max(p01, p10); r >= 0.5 {
+			return fmt.Errorf("core: channel %s: marginal flip rate %v outside [0, 0.5)", p.Noise, r)
+		}
 	}
 	switch p.Assignment {
 	case AssignByID:
@@ -160,8 +214,22 @@ func (p Params) RoundsPerSimRound() int { return 2 * p.PhaseLength() }
 // MembershipThreshold returns θ = ⌊(2ε+1)/4 · W⌋: codeword r is decoded as
 // present iff fewer than θ of its W positions read 0 — exactly the §4 rule
 // "C(r) does not (2ε+1)/4·c_ε²γlog n-intersect ¬x̃_v".
+//
+// Under a pluggable channel the role of ε in the threshold is the
+// missed-beep rate: a present codeword's positions carry beeps, so they
+// read 0 at the channel's marginal 1→0 rate p10, and θ sits at the
+// midpoint of p10·W (expected misses when present) and W/2 (the
+// conservative absence rate the paper uses). For the symmetric channel
+// p10 = ε and the expression is unchanged.
 func (p Params) MembershipThreshold() int {
-	return int((2*p.Epsilon + 1) / 4 * float64(p.W()))
+	eps := p.Epsilon
+	if p.Noise != "" {
+		if m, err := noise.Parse(p.Noise); err == nil {
+			_, p10 := m.FlipRates()
+			eps = p10
+		}
+	}
+	return int((2*eps + 1) / 4 * float64(p.W()))
 }
 
 // PaperSizes reports the paper-faithful parameter sizes of §3 for

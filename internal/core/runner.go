@@ -10,6 +10,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/noise"
 	"repro/internal/rng"
 )
 
@@ -142,14 +143,24 @@ func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, err
 			return nil, err
 		}
 	}
-	nw, err := beep.NewNetwork(g, beep.Params{
+	// Resolve the channel: a non-empty Noise spec replaces the symmetric
+	// ε channel (Params.Epsilon then only calibrates the decoder).
+	beepParams := beep.Params{
 		Epsilon:     cfg.Params.Epsilon,
 		NoisyOwn:    cfg.NoisyOwn,
 		Seed:        cfg.ChannelSeed,
 		RecordBeeps: cfg.RecordBeeps,
 		Workers:     cfg.Workers,
 		Shards:      cfg.Shards,
-	})
+	}
+	if cfg.Params.Noise != "" {
+		model, err := noise.Parse(cfg.Params.Noise)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		beepParams.Epsilon, beepParams.Noise = 0, model
+	}
+	nw, err := beep.NewNetwork(g, beepParams)
 	if err != nil {
 		return nil, err
 	}

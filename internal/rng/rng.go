@@ -11,7 +11,10 @@
 // mutable state, so per-node streams can be used concurrently.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // SplitMix64 advances the SplitMix64 state *x and returns the next output.
 // It is used both for seeding and for cheap key mixing.
@@ -38,7 +41,8 @@ func Mix(keys ...uint64) uint64 {
 // Stream is a deterministic pseudo-random stream. The zero value is not
 // usable; construct with New or Split.
 type Stream struct {
-	s [4]uint64
+	s    [4]uint64
+	seed [4]uint64 // state at construction: the stream's split identity
 }
 
 // New returns a Stream seeded from seed.
@@ -52,16 +56,19 @@ func New(seed uint64) *Stream {
 	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
 		st.s[0] = 0x9e3779b97f4a7c15
 	}
+	st.seed = st.s
 	return &st
 }
 
 // Split derives an independent child stream keyed by keys. Splitting is a
 // pure function of the parent's *seed identity*, not its consumption
-// position: it hashes the parent's current state snapshot together with the
-// keys. Use distinct keys for distinct purposes.
+// position: it hashes the state the parent was constructed with (not the
+// current, mutated generator state) together with the keys, so consuming
+// from the parent before splitting never changes its children. Use
+// distinct keys for distinct purposes.
 func (r *Stream) Split(keys ...uint64) *Stream {
 	all := make([]uint64, 0, len(keys)+4)
-	all = append(all, r.s[0], r.s[1], r.s[2], r.s[3])
+	all = append(all, r.seed[0], r.seed[1], r.seed[2], r.seed[3])
 	all = append(all, keys...)
 	return New(Mix(all...))
 }
@@ -218,6 +225,10 @@ func (fs *FlipSampler) XorFlipsInto(words []uint64, start, end int) {
 	if next >= end {
 		return
 	}
+	if need := (end - start + 63) >> 6; end > start && len(words) < need {
+		panic(fmt.Sprintf("rng: XorFlipsInto: %d words cannot hold window [%d,%d) (%d bits need %d words)",
+			len(words), start, end, end-start, need))
+	}
 	if fs.certain {
 		for ; next < end; next++ {
 			if next >= start {
@@ -228,32 +239,31 @@ func (fs *FlipSampler) XorFlipsInto(words []uint64, start, end int) {
 		fs.next = next
 		return
 	}
-	r, invLog := fs.r, fs.invLog
 	for next < start { // stale positions from earlier windows
-		u := r.Float64()
-		for u == 0 {
-			u = r.Float64()
-		}
-		gap := int(math.Log(u) * invLog)
-		if gap < 0 {
-			gap = 0
-		}
-		next += 1 + gap
+		next += 1 + fs.gap()
 	}
 	for next < end {
 		i := next - start
 		words[i>>6] ^= 1 << (uint(i) & 63)
-		u := r.Float64()
-		for u == 0 {
-			u = r.Float64()
-		}
-		gap := int(math.Log(u) * invLog)
-		if gap < 0 {
-			gap = 0
-		}
-		next += 1 + gap
+		next += 1 + fs.gap()
 	}
 	fs.next = next
+}
+
+// gap draws one Geometric(p) inter-flip gap: floor(ln(U)/ln(1-p)) has the
+// right distribution for the number of failures before the next success.
+// It is the single source of gap draws, so the batch and scalar paths
+// consume the underlying stream identically by construction.
+func (fs *FlipSampler) gap() int {
+	u := fs.r.Float64()
+	for u == 0 {
+		u = fs.r.Float64()
+	}
+	g := int(math.Log(u) * fs.invLog)
+	if g < 0 {
+		g = 0
+	}
+	return g
 }
 
 func (fs *FlipSampler) advance() {
@@ -261,17 +271,7 @@ func (fs *FlipSampler) advance() {
 		fs.next++
 		return
 	}
-	// Geometric(p) gap: floor(ln(U)/ln(1-p)) has the right distribution
-	// for the number of failures before the next success.
-	u := fs.r.Float64()
-	for u == 0 {
-		u = fs.r.Float64()
-	}
-	gap := int(math.Log(u) * fs.invLog)
-	if gap < 0 {
-		gap = 0
-	}
-	fs.next += 1 + gap
+	fs.next += 1 + fs.gap()
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -280,6 +281,34 @@ func TestFlipSamplerResumesAcrossLimits(t *testing.T) {
 	}
 }
 
+// TestSplitPositionInsensitive pins the Split contract: a split is a
+// pure function of the parent's seed identity, so consuming from the
+// parent (before or between splits) never changes any child stream.
+func TestSplitPositionInsensitive(t *testing.T) {
+	fresh := New(5).Split(9)
+	consumed := New(5)
+	for i := 0; i < 17; i++ {
+		consumed.Uint64()
+	}
+	child := consumed.Split(9)
+	for i := 0; i < 100; i++ {
+		if a, b := fresh.Uint64(), child.Uint64(); a != b {
+			t.Fatalf("child after parent consumption diverged at step %d: %#x vs %#x", i, a, b)
+		}
+	}
+	// The contract recurses: a consumed child splits like a fresh one.
+	grand := New(5).Split(9).Split(3)
+	c := New(5).Split(9)
+	c.Uint64()
+	c.Uint64()
+	fromConsumed := c.Split(3)
+	for i := 0; i < 100; i++ {
+		if a, b := grand.Uint64(), fromConsumed.Uint64(); a != b {
+			t.Fatalf("grandchild after child consumption diverged at step %d", i)
+		}
+	}
+}
+
 func TestMixDistinct(t *testing.T) {
 	if Mix(1, 2) == Mix(2, 1) {
 		t.Error("Mix is order-insensitive")
@@ -335,6 +364,69 @@ func BenchmarkFlipSampler(b *testing.B) {
 			}
 		}
 	}
+}
+
+// TestXorFlipsIntoBoundsCheck requires an explicit panic, with a
+// recognizable message, when words cannot hold the requested window.
+func TestXorFlipsIntoBoundsCheck(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("short words slice did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "XorFlipsInto") {
+			t.Fatalf("panic %v does not identify XorFlipsInto", r)
+		}
+	}()
+	fs := NewFlipSampler(New(3), 1) // certain path: every trial flips
+	fs.XorFlipsInto(make([]uint64, 1), 0, 65)
+}
+
+// FuzzXorFlipsInto fuzzes the batch path against the scalar Next loop:
+// for every (seed, rate, window partition) the flipped words and the
+// post-call stream positions must agree exactly. Rates cover the special
+// paths: p = 0 (never flips), p = 1 (certain), tiny and near-capacity
+// geometric rates.
+func FuzzXorFlipsInto(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(64), uint16(64), uint16(64))
+	f.Add(uint64(99), uint8(1), uint16(1), uint16(63), uint16(300))
+	f.Add(uint64(7), uint8(2), uint16(65), uint16(0), uint16(129))
+	f.Add(uint64(42), uint8(3), uint16(5), uint16(1000), uint16(64))
+	f.Add(uint64(0), uint8(4), uint16(0), uint16(0), uint16(0))
+	f.Fuzz(func(t *testing.T, seed uint64, rateSel uint8, w1, w2, w3 uint16) {
+		rates := []float64{0, 1e-9, 1e-3, 0.05, 0.3, 0.5 - 1e-12, 1}
+		p := rates[int(rateSel)%len(rates)]
+		batch := NewFlipSampler(New(seed), p)
+		scalar := NewFlipSampler(New(seed), p)
+		start := 0
+		for _, w := range []int{int(w1) % 1024, int(w2) % 1024, int(w3) % 1024} {
+			end := start + w
+			nWords := (w + 63) / 64
+			got := make([]uint64, nWords)
+			want := make([]uint64, nWords)
+			batch.XorFlipsInto(got, start, end)
+			for {
+				pos, ok := scalar.Next(end)
+				if !ok {
+					break
+				}
+				if pos < start {
+					continue
+				}
+				i := pos - start
+				want[i>>6] ^= 1 << (uint(i) & 63)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("p=%v window [%d,%d): word %d = %#x, want %#x", p, start, end, i, got[i], want[i])
+				}
+			}
+			if batch.Peek() != scalar.Peek() {
+				t.Fatalf("p=%v window [%d,%d): stream positions diverge (%d vs %d)", p, start, end, batch.Peek(), scalar.Peek())
+			}
+			start = end
+		}
+	})
 }
 
 // TestXorFlipsIntoMatchesScalarLoop pins the batch noise path to the

@@ -39,7 +39,11 @@ const (
 // construction — records are byte-identical with the cache on or off
 // (TestArtifactCacheRecordsIdentical). Concurrent lookups of one key
 // build once (per-entry sync.Once); each kind is bounded, evicting the
-// oldest entry on overflow. A nil *Cache is valid and caches nothing.
+// oldest *built* entry on overflow — an entry whose build is still in
+// flight is never evicted, so a concurrent waiter can never be left
+// holding a dropped entry while a new lookup rebuilds the same key
+// (the map may transiently exceed its bound by the number of in-flight
+// builds). A nil *Cache is valid and caches nothing.
 type Cache struct {
 	mu          sync.Mutex
 	graphs      map[string]*graphEntry
@@ -55,24 +59,60 @@ type Cache struct {
 }
 
 type graphEntry struct {
-	once sync.Once
-	g    *graph.Graph
-	err  error
+	once  sync.Once
+	built bool // guarded by Cache.mu: set once the build completed
+	g     *graph.Graph
+	err   error
 }
 
 type codesEntry struct {
-	once sync.Once
-	c    *core.Codes
-	err  error
+	once  sync.Once
+	built bool // guarded by Cache.mu: set once the build completed
+	c     *core.Codes
+	err   error
 }
 
 // NewCache returns an empty cache with the default bounds.
 func NewCache() *Cache {
+	return NewCacheBounded(DefaultMaxGraphs, DefaultMaxCodes)
+}
+
+// NewCacheBounded returns an empty cache holding at most maxGraphs
+// graphs and maxCodes code tables (each at least 1).
+func NewCacheBounded(maxGraphs, maxCodes int) *Cache {
+	if maxGraphs < 1 || maxCodes < 1 {
+		panic(fmt.Sprintf("sim: cache bounds must be positive, got %d graphs / %d codes", maxGraphs, maxCodes))
+	}
 	return &Cache{
 		graphs:    make(map[string]*graphEntry),
 		codes:     make(map[core.Params]*codesEntry),
-		maxGraphs: DefaultMaxGraphs,
-		maxCodes:  DefaultMaxCodes,
+		maxGraphs: maxGraphs,
+		maxCodes:  maxCodes,
+	}
+}
+
+// evictOldestBuiltGraph removes the oldest graph entry whose build has
+// completed, if any; in-flight entries are skipped (a waiter inside
+// their sync.Once still needs them). Caller holds c.mu.
+func (c *Cache) evictOldestBuiltGraph() {
+	for i, h := range c.graphOrder {
+		if c.graphs[h].built {
+			delete(c.graphs, h)
+			c.graphOrder = append(c.graphOrder[:i], c.graphOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictOldestBuiltCodes is evictOldestBuiltGraph for code tables.
+// Caller holds c.mu.
+func (c *Cache) evictOldestBuiltCodes() {
+	for i, p := range c.codesOrder {
+		if c.codes[p].built {
+			delete(c.codes, p)
+			c.codesOrder = append(c.codesOrder[:i], c.codesOrder[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -112,15 +152,19 @@ func (c *Cache) Graph(key GraphKey, build func() (*graph.Graph, error)) (*graph.
 	} else {
 		c.graphMisses++
 		if len(c.graphs) >= c.maxGraphs {
-			delete(c.graphs, c.graphOrder[0])
-			c.graphOrder = c.graphOrder[1:]
+			c.evictOldestBuiltGraph()
 		}
 		e = &graphEntry{}
 		c.graphs[h] = e
 		c.graphOrder = append(c.graphOrder, h)
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.g, e.err = build() })
+	e.once.Do(func() {
+		e.g, e.err = build()
+		c.mu.Lock()
+		e.built = true
+		c.mu.Unlock()
+	})
 	return e.g, e.err
 }
 
@@ -137,15 +181,19 @@ func (c *Cache) Codes(p core.Params) (*core.Codes, error) {
 	} else {
 		c.codeMisses++
 		if len(c.codes) >= c.maxCodes {
-			delete(c.codes, c.codesOrder[0])
-			c.codesOrder = c.codesOrder[1:]
+			c.evictOldestBuiltCodes()
 		}
 		e = &codesEntry{}
 		c.codes[p] = e
 		c.codesOrder = append(c.codesOrder, p)
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.c, e.err = core.BuildCodes(p) })
+	e.once.Do(func() {
+		e.c, e.err = core.BuildCodes(p)
+		c.mu.Lock()
+		e.built = true
+		c.mu.Unlock()
+	})
 	return e.c, e.err
 }
 

@@ -1,0 +1,145 @@
+package sim_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestCacheEvictionSkipsInFlight forces an overflow while a slow build
+// is in flight. The in-flight entry must survive eviction: the waiter
+// keeps the entry that ends up cached, and a concurrent lookup of the
+// same key joins the in-flight build instead of rebuilding — the
+// regression the oldest-first eviction had, where the overflow dropped
+// the building entry and handed the key a second build.
+func TestCacheEvictionSkipsInFlight(t *testing.T) {
+	c := sim.NewCacheBounded(1, 1)
+	key1 := sim.GraphKey{Family: "cycle", N: 8, Seed: 1}
+	key2 := sim.GraphKey{Family: "cycle", N: 9, Seed: 2}
+
+	var builds1 atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slowBuild := func() (*graph.Graph, error) {
+		builds1.Add(1)
+		close(started)
+		<-release
+		return graph.Cycle(8), nil
+	}
+
+	var wg sync.WaitGroup
+	var fromWaiter, fromJoiner *graph.Graph
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, err := c.Graph(key1, slowBuild)
+		if err != nil {
+			t.Error(err)
+		}
+		fromWaiter = g
+	}()
+	<-started
+
+	// Overflow the one-entry bound while key1 is mid-build. The bound is
+	// allowed to stretch; key1 must not be dropped.
+	if _, err := c.Graph(key2, func() (*graph.Graph, error) { return graph.Cycle(9), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second lookup of key1 while its build is in flight must join
+	// that build, not start another.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, err := c.Graph(key1, func() (*graph.Graph, error) {
+			t.Error("in-flight entry was rebuilt after eviction")
+			return graph.Cycle(8), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		fromJoiner = g
+	}()
+
+	close(release)
+	wg.Wait()
+	if n := builds1.Load(); n != 1 {
+		t.Fatalf("key1 built %d times, want 1", n)
+	}
+	if fromWaiter == nil || fromWaiter != fromJoiner {
+		t.Fatal("waiter and joiner hold different graph instances")
+	}
+
+	// Once built, the entry becomes evictable again: a third key pushes
+	// the (now oldest built) key1 out, and re-asking rebuilds it.
+	if _, err := c.Graph(sim.GraphKey{Family: "cycle", N: 10, Seed: 3}, func() (*graph.Graph, error) { return graph.Cycle(10), nil }); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := false
+	if _, err := c.Graph(key1, func() (*graph.Graph, error) {
+		rebuilt = true
+		return graph.Cycle(8), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt {
+		t.Fatal("built entries are no longer evictable")
+	}
+}
+
+// TestCacheCodesKeyedByNoise: the decode-table cache key is the full
+// Params including the channel spec — equal sizes under different
+// channels must not share tables (their thresholds differ).
+func TestCacheCodesKeyedByNoise(t *testing.T) {
+	c := sim.NewCache()
+	sym := core.DefaultParams(16, 3, 8, 0.2)
+	asym, err := core.DefaultParamsNoise(16, 3, 8, 0, "asymmetric:0.05:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Codes(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Codes(asym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different channels shared one code-table entry")
+	}
+	if st := c.Stats(); st.CodeMisses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses", st)
+	}
+}
+
+// TestSupportsNoise: every engine accepts the default channel; only the
+// engines that simulate over beeps accept a model, and the spec must
+// name a registered model.
+func TestSupportsNoise(t *testing.T) {
+	const burst = "gilbert-elliott:0.02:0.3:0.05:0.25"
+	cases := []struct {
+		engine, spec string
+		want         bool
+	}{
+		{sim.EngineAlg1, "", true},
+		{sim.EngineTDMA, "", true},
+		{sim.EngineCongest, "", true},
+		{sim.EngineBeep, "", true},
+		{sim.EngineAlg1, burst, true},
+		{sim.EngineTDMA, burst, true},
+		{sim.EngineCongest, burst, false},
+		{sim.EngineBeep, burst, false},
+		{sim.EngineAlg1, "bogus:1", false},
+		{"nope", "", false},
+	}
+	for _, tc := range cases {
+		if got := sim.SupportsNoise(tc.engine, tc.spec); got != tc.want {
+			t.Errorf("SupportsNoise(%q, %q) = %v, want %v", tc.engine, tc.spec, got, tc.want)
+		}
+	}
+}

@@ -25,7 +25,10 @@ func (alg1Engine) Supports(w Workload) bool { return true }
 func (alg1Engine) DrivesAlgs() bool         { return true }
 
 func (alg1Engine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
-	p := core.DefaultParams(g.N(), g.MaxDegree(), cfg.MsgBits, cfg.Epsilon)
+	p, err := core.DefaultParamsNoise(g.N(), g.MaxDegree(), cfg.MsgBits, cfg.Epsilon, cfg.Noise)
+	if err != nil {
+		return nil, err
+	}
 	var codes *core.Codes
 	if cfg.Artifacts != nil {
 		var err error
@@ -69,6 +72,7 @@ func (tdmaEngine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
 	bl, err := baseline.NewRunner(g, baseline.Config{
 		MsgBits:     cfg.MsgBits,
 		Epsilon:     cfg.Epsilon,
+		Noise:       cfg.Noise,
 		ChannelSeed: cfg.ChannelSeed,
 		AlgSeed:     cfg.AlgSeed,
 		NoisyOwn:    true,

@@ -32,6 +32,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/noise"
 )
 
 // Canonical engine names. These are the values scenario specs use; the
@@ -85,6 +86,11 @@ type Config struct {
 	// Epsilon is the beeping-channel noise rate; native engines have no
 	// beeping channel and ignore it.
 	Epsilon float64
+	// Noise is the canonical channel-model spec (internal/noise.Parse)
+	// for a non-default channel; empty means the symmetric{Epsilon}
+	// channel. Like Epsilon it only reaches the engines that simulate
+	// over beeps (see SupportsNoise); Epsilon must be 0 when set.
+	Noise string
 	// ChannelSeed drives channel noise (ignored by native engines);
 	// AlgSeed drives the algorithms' private randomness and the native
 	// beeping run.
@@ -278,4 +284,25 @@ func Supports(engine, workload string) bool {
 func IsNative(engine string) bool {
 	e, ok := EngineFor(engine)
 	return ok && e.Native()
+}
+
+// SupportsNoise reports whether the named engine can execute under the
+// channel-model spec — the capability rule for the noise axis, beside
+// Supports for workloads. Every engine accepts the default channel
+// (empty spec); only engines that actually simulate over the beeping
+// channel (the non-native ones) accept a model, and the spec must name
+// a registered model. Unknown engines support nothing.
+func SupportsNoise(engine, spec string) bool {
+	e, ok := EngineFor(engine)
+	if !ok {
+		return false
+	}
+	if spec == "" {
+		return true
+	}
+	if e.Native() {
+		return false
+	}
+	_, err := noise.Parse(spec)
+	return err == nil
 }

@@ -13,6 +13,7 @@ type Key struct {
 	N        int     `json:"n,omitempty"`
 	Param    int     `json:"param,omitempty"`
 	Epsilon  float64 `json:"epsilon"`
+	Noise    string  `json:"noise,omitempty"`
 	Engine   string  `json:"engine"`
 	Workload string  `json:"workload"`
 	Rounds   int     `json:"rounds,omitempty"`
@@ -26,6 +27,7 @@ func KeyOf(sc Scenario) Key {
 		N:        sc.N,
 		Param:    sc.Param,
 		Epsilon:  sc.Epsilon,
+		Noise:    sc.Noise,
 		Engine:   sc.Engine,
 		Workload: sc.Workload,
 		Rounds:   sc.Rounds,
@@ -130,6 +132,8 @@ func Aggregate(recs []Record) []Group {
 			return a.Param < b.Param
 		case a.Epsilon != b.Epsilon:
 			return a.Epsilon < b.Epsilon
+		case a.Noise != b.Noise:
+			return a.Noise < b.Noise
 		case a.Rounds != b.Rounds:
 			return a.Rounds < b.Rounds
 		}

@@ -259,8 +259,10 @@ func TestGridSkipsUnsupportedPairs(t *testing.T) {
 }
 
 // TestGridNormalizesNativeEngineChannelAxes: native engines ignore ε and
-// the channel seed, so Expand zeroes both — grid points differing only
-// in ε collapse to one spec hash and the scheduler runs the engine once.
+// the channel seed, so Expand zeroes both and grid points differing only
+// in ε collapse to one spec hash — which Expand now deduplicates at
+// expansion time, so a batch (and its aggregates) never sees the same
+// execution under several ε labels.
 func TestGridNormalizesNativeEngineChannelAxes(t *testing.T) {
 	g := Grid{
 		Families: []string{FamilyRegular},
@@ -275,8 +277,8 @@ func TestGridNormalizesNativeEngineChannelAxes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(scs) != 3 {
-		t.Fatalf("expanded %d scenarios, want 3", len(scs))
+	if len(scs) != 1 {
+		t.Fatalf("expanded %d scenarios, want 1 (ε axis deduplicated at expansion)", len(scs))
 	}
 	for _, sc := range scs {
 		if sc.Epsilon != 0 || sc.ChannelSeed != 0 {
@@ -287,7 +289,7 @@ func TestGridNormalizesNativeEngineChannelAxes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Unique != 1 || st.Ran != 1 || st.Cached != 2 {
-		t.Fatalf("ε axis was not deduplicated for the native engine: %+v", st)
+	if st.Unique != 1 || st.Ran != 1 || st.Cached != 0 {
+		t.Fatalf("deduplicated expansion should run exactly once: %+v", st)
 	}
 }

@@ -71,6 +71,7 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	inst, err := eng.Prepare(g, sim.Config{
 		MsgBits:     msgBits,
 		Epsilon:     sc.Epsilon,
+		Noise:       sc.Noise,
 		ChannelSeed: sc.ChannelSeed,
 		AlgSeed:     sc.AlgSeed,
 		Workers:     opt.Workers,

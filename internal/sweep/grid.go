@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/noise"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -25,6 +26,12 @@ type Grid struct {
 	Epsilons  []float64
 	Engines   []string
 	Workloads []string
+	// Noises lists channel-noise models (internal/noise specs). "" and
+	// "symmetric" both select the default symmetric channel, which the
+	// Epsilons axis parameterizes; any other spec owns the channel, so
+	// the ε axis collapses for it (like the native engines' ε) and the
+	// spec is canonicalized before hashing. Empty axis = symmetric only.
+	Noises []string
 	// Rounds is the gossip round count (default 3); MsgBits overrides
 	// the workload's bandwidth default when nonzero.
 	Rounds  int
@@ -58,9 +65,14 @@ func fold(s string) uint64 {
 }
 
 // Expand enumerates the grid. Axis order (outer to inner): workload,
-// family, engine, n, param, epsilon, replicate. Engine/workload pairs
-// the engine does not support (Supports) are skipped. Expand fails if
-// any produced spec is invalid or the grid expands to nothing.
+// family, engine, noise, n, param, epsilon, replicate. Engine/workload
+// pairs the engine does not support (Supports) are skipped. Axis
+// normalization — native engines ignore ε, the channel seed, and the
+// noise model; non-symmetric models ignore ε — can map distinct grid
+// points onto one spec, and Expand deduplicates them by content hash
+// (first occurrence wins), so a grid never attributes one execution to
+// two different axis labels. Expand fails if any produced spec is
+// invalid or the grid expands to nothing.
 func (g Grid) Expand() ([]Scenario, error) {
 	families := defaulted(g.Families, FamilyRegular)
 	ns := defaultedInts(g.Ns, 64)
@@ -71,6 +83,10 @@ func (g Grid) Expand() ([]Scenario, error) {
 	}
 	engines := defaulted(g.Engines, EngineAlg1)
 	workloads := defaulted(g.Workloads, WorkloadGossip)
+	noises, err := canonicalNoises(g.Noises)
+	if err != nil {
+		return nil, err
+	}
 	rounds := g.Rounds
 	if rounds == 0 {
 		rounds = 3
@@ -81,6 +97,7 @@ func (g Grid) Expand() ([]Scenario, error) {
 	}
 
 	var out []Scenario
+	seen := make(map[string]struct{})
 	for _, wl := range workloads {
 		wlRounds := rounds
 		if w, ok := sim.WorkloadFor(wl); ok && !w.UsesRounds() {
@@ -95,45 +112,68 @@ func (g Grid) Expand() ([]Scenario, error) {
 				if !Supports(eng, wl) {
 					continue
 				}
-				for _, n := range famNs {
-					for _, param := range params {
-						for _, eps := range epsilons {
-							// Native engines have no beeping channel to
-							// perturb: they ignore ε and the channel seed,
-							// so normalize both to zero. Because only the
-							// channel seed mixes ε in, grid points that
-							// differ only in ε then expand to identical
-							// specs (one hash), and the scheduler's
-							// in-batch dedup runs the engine once instead
-							// of attributing noise rates to a noiseless
-							// execution.
-							native := sim.IsNative(eng)
-							if native {
-								eps = 0
-							}
-							for rep := 0; rep < replicates; rep++ {
-								point := []uint64{g.BaseSeed, fold(fam), uint64(n), uint64(param), uint64(rep)}
-								sc := Scenario{
-									Family:      fam,
-									N:           n,
-									Param:       param,
-									Epsilon:     eps,
-									Engine:      eng,
-									Workload:    wl,
-									Rounds:      wlRounds,
-									MsgBits:     g.MsgBits,
-									Replicate:   rep,
-									GraphSeed:   rng.Mix(append([]uint64{seedDomGraph}, point...)...),
-									ChannelSeed: rng.Mix(append([]uint64{seedDomChannel, fold(eng), fold(wl), math.Float64bits(eps)}, point...)...),
-									AlgSeed:     rng.Mix(append([]uint64{seedDomAlg, fold(wl)}, point...)...),
-								}
+				native := sim.IsNative(eng)
+				for _, noiseSpec := range noises {
+					for _, n := range famNs {
+						for _, param := range params {
+							for _, gridEps := range epsilons {
+								// Native engines have no beeping channel to
+								// perturb: they ignore ε, the channel seed,
+								// and the noise model, so normalize all
+								// three to their zero values. A non-default
+								// noise model owns the channel, so ε
+								// normalizes to zero under it too. Either
+								// way, grid points that differ only in
+								// normalized axes collapse onto one spec,
+								// and the hash dedup below keeps a single
+								// copy instead of attributing one noiseless
+								// (or one model-noise) execution to several
+								// ε labels.
+								eps, ns := gridEps, noiseSpec
 								if native {
-									sc.ChannelSeed = 0
+									eps, ns = 0, ""
 								}
-								if err := sc.Validate(); err != nil {
-									return nil, fmt.Errorf("sweep: grid point %+v: %w", sc, err)
+								if ns != "" {
+									eps = 0
 								}
-								out = append(out, sc)
+								for rep := 0; rep < replicates; rep++ {
+									point := []uint64{g.BaseSeed, fold(fam), uint64(n), uint64(param), uint64(rep)}
+									chanKeys := []uint64{seedDomChannel, fold(eng), fold(wl), math.Float64bits(eps)}
+									if ns != "" {
+										// The model joins the channel-seed
+										// derivation the way ε always has;
+										// symmetric runs keep the historic
+										// key sequence bit-for-bit.
+										chanKeys = append(chanKeys, fold(ns))
+									}
+									sc := Scenario{
+										Family:      fam,
+										N:           n,
+										Param:       param,
+										Epsilon:     eps,
+										Noise:       ns,
+										Engine:      eng,
+										Workload:    wl,
+										Rounds:      wlRounds,
+										MsgBits:     g.MsgBits,
+										Replicate:   rep,
+										GraphSeed:   rng.Mix(append([]uint64{seedDomGraph}, point...)...),
+										ChannelSeed: rng.Mix(append(chanKeys, point...)...),
+										AlgSeed:     rng.Mix(append([]uint64{seedDomAlg, fold(wl)}, point...)...),
+									}
+									if native {
+										sc.ChannelSeed = 0
+									}
+									if err := sc.Validate(); err != nil {
+										return nil, fmt.Errorf("sweep: grid point %+v: %w", sc, err)
+									}
+									h := sc.Hash()
+									if _, dup := seen[h]; dup {
+										continue
+									}
+									seen[h] = struct{}{}
+									out = append(out, sc)
+								}
 							}
 						}
 					}
@@ -143,6 +183,39 @@ func (g Grid) Expand() ([]Scenario, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("sweep: grid expands to no supported scenarios")
+	}
+	return out, nil
+}
+
+// canonicalNoises normalizes the noise axis: "" and "symmetric" mean
+// the default symmetric channel (spelled as the empty spec, so Epsilon
+// stays the channel identity); other entries must parse and are
+// replaced by their canonical spelling. Duplicate entries after
+// canonicalization are rejected — they would be a silently collapsed
+// axis, which is almost certainly a typo.
+func canonicalNoises(specs []string) ([]string, error) {
+	if len(specs) == 0 {
+		return []string{""}, nil
+	}
+	out := make([]string, 0, len(specs))
+	seen := make(map[string]struct{}, len(specs))
+	for _, s := range specs {
+		canon := ""
+		if s != "" && s != noise.NameSymmetric {
+			m, err := noise.Parse(s)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: noise axis: %w", err)
+			}
+			if m.Name() == noise.NameSymmetric {
+				return nil, fmt.Errorf("sweep: noise axis %q: parameterize the symmetric channel with the ε axis", s)
+			}
+			canon = m.Spec()
+		}
+		if _, dup := seen[canon]; dup {
+			return nil, fmt.Errorf("sweep: noise axis lists %q twice", canon)
+		}
+		seen[canon] = struct{}{}
+		out = append(out, canon)
 	}
 	return out, nil
 }

@@ -1,0 +1,276 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+const testBurstSpec = "gilbert-elliott:0.02:0.3:0.05:0.25"
+
+// TestGridNoiseAxis covers the noise axis's expansion rules: the
+// symmetric entry rides the ε axis, model entries collapse ε, native
+// engines drop the axis entirely, and the expansion is duplicate-free
+// with pairwise-distinct hashes per engine class.
+func TestGridNoiseAxis(t *testing.T) {
+	scs, err := Grid{
+		Families: []string{FamilyRegular},
+		Ns:       []int{12},
+		Params:   []int{2},
+		Epsilons: []float64{0.1, 0.2},
+		Noises:   []string{"symmetric", testBurstSpec},
+		Engines:  []string{EngineAlg1, EngineCongest},
+		Rounds:   2,
+		BaseSeed: 17,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEngine := map[string][]Scenario{}
+	hashes := map[string]string{}
+	for _, sc := range scs {
+		perEngine[sc.Engine] = append(perEngine[sc.Engine], sc)
+		h := sc.Hash()
+		if prev, dup := hashes[h]; dup {
+			t.Fatalf("duplicate hash %s in expansion (%+v and %s)", h, sc, prev)
+		}
+		hashes[h] = sc.Engine
+	}
+	// alg1: 2 symmetric ε points + 1 burst point (ε collapsed) = 3.
+	if got := len(perEngine[EngineAlg1]); got != 3 {
+		t.Errorf("alg1 expands to %d specs, want 3: %+v", got, perEngine[EngineAlg1])
+	}
+	// congest: native — both the ε axis and the noise axis collapse.
+	if got := len(perEngine[EngineCongest]); got != 1 {
+		t.Errorf("congest expands to %d specs, want 1: %+v", got, perEngine[EngineCongest])
+	}
+	var sawBurst bool
+	for _, sc := range perEngine[EngineAlg1] {
+		switch sc.Noise {
+		case "":
+			if sc.Epsilon != 0.1 && sc.Epsilon != 0.2 {
+				t.Errorf("symmetric spec lost its ε: %+v", sc)
+			}
+		case testBurstSpec:
+			sawBurst = true
+			if sc.Epsilon != 0 {
+				t.Errorf("model spec kept ε: %+v", sc)
+			}
+		default:
+			t.Errorf("unexpected noise spec %q", sc.Noise)
+		}
+	}
+	if !sawBurst {
+		t.Error("burst model never expanded for alg1")
+	}
+	for _, sc := range perEngine[EngineCongest] {
+		if sc.Noise != "" || sc.Epsilon != 0 || sc.ChannelSeed != 0 {
+			t.Errorf("native spec kept channel axes: %+v", sc)
+		}
+	}
+}
+
+// TestGridNoiseChannelSeeds: distinct channel models at one grid point
+// get distinct channel seeds (the model spec joins the derivation), and
+// graph/alg seeds stay shared — the same topology and algorithm
+// randomness under every channel, as cross-channel comparisons need.
+func TestGridNoiseChannelSeeds(t *testing.T) {
+	scs, err := Grid{
+		Families: []string{FamilyRegular},
+		Ns:       []int{12},
+		Params:   []int{2},
+		Epsilons: []float64{0},
+		Noises:   []string{"", "asymmetric:0.02:0.2", testBurstSpec},
+		Engines:  []string{EngineAlg1},
+		Rounds:   1,
+		BaseSeed: 9,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("expanded %d specs, want 3", len(scs))
+	}
+	seeds := map[uint64]string{}
+	for _, sc := range scs {
+		if prev, dup := seeds[sc.ChannelSeed]; dup {
+			t.Errorf("models %q and %q share channel seed %d", prev, sc.Noise, sc.ChannelSeed)
+		}
+		seeds[sc.ChannelSeed] = sc.Noise
+		if sc.GraphSeed != scs[0].GraphSeed || sc.AlgSeed != scs[0].AlgSeed {
+			t.Errorf("model %q changed graph/alg seeds: %+v", sc.Noise, sc)
+		}
+	}
+}
+
+// TestGridNoiseAxisRejects: the axis canonicalizes and rejects what
+// cannot be meant.
+func TestGridNoiseAxisRejects(t *testing.T) {
+	base := func() Grid {
+		return Grid{
+			Families: []string{FamilyRegular}, Ns: []int{12}, Params: []int{2},
+			Engines: []string{EngineAlg1}, Rounds: 1,
+		}
+	}
+	for _, specs := range [][]string{
+		{"symmetric:0.1"},                               // symmetric is the ε axis
+		{"unknown:1"},                                   // unregistered model
+		{"gilbert-elliott:0.9"},                         // bad arity
+		{"", "symmetric"},                               // same channel twice
+		{testBurstSpec, testBurstSpec},                  // duplicate model
+		{"asymmetric:0.02:0.20", "asymmetric:0.02:0.2"}, // duplicate after canonicalization
+	} {
+		g := base()
+		g.Noises = specs
+		if _, err := g.Expand(); err == nil {
+			t.Errorf("noise axis %v accepted", specs)
+		}
+	}
+	// Non-canonical spellings are fixed up, not rejected.
+	g := base()
+	g.Noises = []string{"asymmetric:0.020:0.200"}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].Noise != "asymmetric:0.02:0.2" {
+		t.Errorf("spec not canonicalized: %q", scs[0].Noise)
+	}
+}
+
+// TestValidateNoise extends the spec validation cases to the noise
+// field's contract.
+func TestValidateNoise(t *testing.T) {
+	good := baseSpec()
+	good.Epsilon = 0
+	good.Noise = testBurstSpec
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid noise spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Scenario){
+		"unparseable":   func(sc *Scenario) { sc.Noise = "nope:1" },
+		"symmetric":     func(sc *Scenario) { sc.Noise = "symmetric:0.1" },
+		"non-canonical": func(sc *Scenario) { sc.Noise = "gilbert-elliott:0.020:0.3:0.05:0.25" },
+		"eps-set":       func(sc *Scenario) { sc.Epsilon = 0.1 },
+		"native-engine": func(sc *Scenario) { sc.Engine = EngineCongest },
+	} {
+		sc := good
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: invalid noise spec %+v passed validation", name, sc)
+		}
+	}
+}
+
+// TestExecuteNoiseModels runs every model through both beeping engines
+// end-to-end: budgets hold, MIS outputs verify, and records are
+// deterministic under worker parallelism (the per-model serial ≡
+// parallel bit-identity requirement at the record level).
+func TestExecuteNoiseModels(t *testing.T) {
+	specs := []string{
+		"asymmetric:0.02:0.15",
+		"erasure:0.1:0",
+		"erasure:0.1:1",
+		testBurstSpec,
+	}
+	for _, eng := range []string{EngineAlg1, EngineTDMA} {
+		for _, spec := range specs {
+			sc := Scenario{
+				Family: FamilyRegular, N: 14, Param: 3,
+				Noise:  spec,
+				Engine: eng, Workload: WorkloadMIS,
+				GraphSeed: 3, ChannelSeed: 4, AlgSeed: 5,
+			}
+			serial, err := Execute(sc, ExecOptions{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", eng, spec, err)
+			}
+			if !serial.Counters.AllDone {
+				t.Errorf("%s/%s: did not finish in budget", eng, spec)
+			}
+			if serial.Counters.OutputOK == nil || !*serial.Counters.OutputOK {
+				t.Errorf("%s/%s: MIS output did not verify", eng, spec)
+			}
+			parallel, err := Execute(sc, ExecOptions{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s/%s (workers=4): %v", eng, spec, err)
+			}
+			serial.WallNanos, parallel.WallNanos = 0, 0
+			serial.BuildNanos, parallel.BuildNanos = 0, 0
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%s/%s: serial and parallel records differ:\n %+v\n %+v", eng, spec, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestNoiseChannelChangesResults: burst noise with a given stationary
+// rate is not the symmetric channel with that rate. A harsh
+// Gilbert–Elliott profile (deep 90%-flip fades, ~20% of the time)
+// defeats the TDMA baseline's repetition majorities — which calibrate
+// against the i.i.d. marginal — where the equal-rate symmetric channel
+// does not. Both runs are deterministic, so the counters comparison is
+// exact, not statistical.
+func TestNoiseChannelChangesResults(t *testing.T) {
+	const harshBurst = "gilbert-elliott:0:0.9:0.02:0.08" // π_B = 0.2, rate = 0.18
+	m, err := noise.Parse(harshBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, _ := m.FlipRates()
+	sym := Scenario{
+		Family: FamilyRegular, N: 14, Param: 3, Epsilon: rate,
+		Engine: EngineTDMA, Workload: WorkloadGossip, Rounds: 3,
+		GraphSeed: 3, ChannelSeed: 4, AlgSeed: 5,
+	}
+	burst := sym
+	burst.Epsilon, burst.Noise = 0, harshBurst
+	a, err := Execute(sym, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(burst, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash == b.Hash {
+		t.Fatal("symmetric and burst specs share a hash")
+	}
+	if reflect.DeepEqual(a.Counters, b.Counters) {
+		t.Errorf("burst channel produced counters identical to the equal-rate symmetric channel — model likely not wired through:\n %+v", a.Counters)
+	}
+	if b.Counters.MessageErrors <= a.Counters.MessageErrors {
+		t.Errorf("burst fades should defeat i.i.d.-calibrated majorities: sym %d message errors, burst %d",
+			a.Counters.MessageErrors, b.Counters.MessageErrors)
+	}
+}
+
+// TestNoiseStoreRoundTrip: noise-model records survive the JSONL store
+// with hash verification intact.
+func TestNoiseStoreRoundTrip(t *testing.T) {
+	sc := Scenario{
+		Family: FamilyRegular, N: 12, Param: 2,
+		Noise:  "erasure:0.1:1",
+		Engine: EngineTDMA, Workload: WorkloadGossip, Rounds: 1,
+		GraphSeed: 1, ChannelSeed: 2, AlgSeed: 3,
+	}
+	rec, err := Execute(sc, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Spec.Noise != sc.Noise {
+		t.Fatalf("record lost its noise spec: %+v", rec.Spec)
+	}
+	store := NewMemStore()
+	if err := store.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Get(sc.Hash())
+	if !ok {
+		t.Fatal("noise record not retrievable by spec hash")
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("store round-trip mismatch:\n %+v\n %+v", got, rec)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/noise"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -84,6 +85,15 @@ type Scenario struct {
 	// (congest, beep) have no beeping channel and ignore it — keep it 0
 	// there (Grid.Expand normalizes this) so equal work shares one hash.
 	Epsilon float64 `json:"epsilon"`
+	// Noise selects a non-default channel-noise model by canonical
+	// internal/noise spec (e.g. "gilbert-elliott:0.01:0.3:0.05:0.25").
+	// Empty — the only spelling for the symmetric channel, which Epsilon
+	// parameterizes — keeps every pre-noise-axis spec, hash, and stored
+	// record byte-identical. A non-empty spec owns the channel: Epsilon
+	// must be 0 (the model's own parameters replace it), the engine must
+	// simulate over beeps (sim.SupportsNoise), and the spec must be in
+	// canonical form so equal channels share one hash.
+	Noise string `json:"noise,omitempty"`
 	// Engine selects the execution engine (Engine* constants).
 	Engine string `json:"engine"`
 	// Workload selects the per-node algorithm (Workload* constants).
@@ -165,6 +175,24 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Epsilon < 0 || sc.Epsilon >= 0.5 {
 		return fmt.Errorf("sweep: ε = %v outside [0, 0.5)", sc.Epsilon)
+	}
+	if sc.Noise != "" {
+		m, err := noise.Parse(sc.Noise)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if m.Name() == noise.NameSymmetric {
+			return fmt.Errorf("sweep: the symmetric channel is the Epsilon field; leave Noise empty")
+		}
+		if spec := m.Spec(); spec != sc.Noise {
+			return fmt.Errorf("sweep: noise spec %q is not canonical (want %q)", sc.Noise, spec)
+		}
+		if sc.Epsilon != 0 {
+			return fmt.Errorf("sweep: Noise %s owns the channel; set Epsilon = 0, got %v", sc.Noise, sc.Epsilon)
+		}
+		if !sim.SupportsNoise(sc.Engine, sc.Noise) {
+			return fmt.Errorf("sweep: engine %q does not support channel model %q", sc.Engine, sc.Noise)
+		}
 	}
 	if sc.MsgBits < 0 {
 		return fmt.Errorf("sweep: MsgBits = %d", sc.MsgBits)
