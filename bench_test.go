@@ -636,3 +636,45 @@ func BenchmarkSweepGrid64(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepReplicateHeavy measures the replicate-heavy grid the
+// replicate-sliced execution path targets (BENCH_PR6.json): 4
+// hard-family axis points × 64 replicates = 256 TDMA scenarios through
+// the batch scheduler. The hard family derives its topology without
+// GraphSeed, so each axis point's replicates share one sliceKey and run
+// as lanes of a single word-transposed pass wherever the tree supports
+// it — the call shape deliberately predates the slicing knobs so the
+// same benchmark compiles on the pre-slicing tree for the before/after
+// comparison.
+//
+// The grid runs a quiet channel (ε = 0) on purpose: the determinism
+// contract pins each lane's noise stream to the serial replay, so on
+// noisy channels the geometric-skip flip sampling (one log per flip,
+// per lane) is an irreducible floor that slicing cannot amortize — see
+// DESIGN.md §2.14. Quiet and moderate channels are where replicate
+// slicing pays; ε = 0 isolates that win.
+func BenchmarkSweepReplicateHeavy(b *testing.B) {
+	scs, err := sweep.Grid{
+		Families:   []string{sweep.FamilyHard},
+		Ns:         []int{48, 64},
+		Params:     []int{6, 8},
+		Epsilons:   []float64{0},
+		Engines:    []string{sweep.EngineTDMA},
+		Workloads:  []string{sweep.WorkloadGossip},
+		Rounds:     3,
+		Replicates: 64,
+		BaseSeed:   2026,
+	}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(scs) != 256 {
+		b.Fatalf("grid expanded to %d scenarios, want 256", len(scs))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sweep.Run(scs, sweep.NewMemStore(), sweep.Options{Jobs: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

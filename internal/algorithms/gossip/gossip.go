@@ -38,22 +38,60 @@ type Algorithm struct {
 	// non-positive values to DefaultRounds.
 	Rounds int
 
-	env  congest.Env
-	seen int
-	done bool
+	msg    congest.Message
+	shared *msgBlock
+	seen   int
+	done   bool
+}
+
+// msgBlock is one contiguous payload buffer shared by a New-built node
+// set: node v's message is the v-th stride. Engines call Init serially
+// (it is the one per-node callback outside the parallel phases), so the
+// lazy sizing needs no locking.
+type msgBlock struct {
+	buf    []byte
+	stride int
+}
+
+func (b *msgBlock) slot(id, n, stride int) []byte {
+	if b.stride != stride || len(b.buf) != n*stride {
+		b.buf = make([]byte, n*stride)
+		b.stride = stride
+	}
+	s := b.buf[id*stride : (id+1)*stride]
+	clear(s)
+	return s
 }
 
 var _ congest.BroadcastAlgorithm = (*Algorithm)(nil)
 
-// Init implements congest.BroadcastAlgorithm.
-func (g *Algorithm) Init(env congest.Env) { g.env = env }
+// Init implements congest.BroadcastAlgorithm. The broadcast payload —
+// the node ID, identical every round — is encoded once here; engines
+// treat messages as read-only, so handing out the same buffer each
+// round is observationally identical to re-encoding it. The encoding is
+// wire.Writer's (LSB-first bit packing), written straight into the
+// padded buffer: Init runs once per node per replicate, which makes it
+// an allocation hot spot under replicate-heavy sweeps.
+func (g *Algorithm) Init(env congest.Env) {
+	g.seen = 0
+	g.done = false
+	var msg []byte
+	if g.shared != nil {
+		msg = g.shared.slot(env.ID, env.N, (env.MsgBits+7)/8)
+	} else {
+		msg = make([]byte, (env.MsgBits+7)/8)
+	}
+	id := uint64(env.ID)
+	for k := 0; k < wire.BitsFor(env.N); k++ {
+		if id>>uint(k)&1 != 0 {
+			msg[k/8] |= 1 << uint(k%8)
+		}
+	}
+	g.msg = msg
+}
 
 // Broadcast implements congest.BroadcastAlgorithm.
-func (g *Algorithm) Broadcast(round int) congest.Message {
-	var w wire.Writer
-	w.WriteUint(uint64(g.env.ID), wire.BitsFor(g.env.N))
-	return w.PaddedBytes(g.env.MsgBits)
-}
+func (g *Algorithm) Broadcast(round int) congest.Message { return g.msg }
 
 // Receive implements congest.BroadcastAlgorithm.
 func (g *Algorithm) Receive(round int, msgs []congest.Message) {
@@ -70,14 +108,20 @@ func (g *Algorithm) Done() bool { return g.done }
 func (g *Algorithm) Output() any { return g.seen }
 
 // New returns per-node instances gossiping for the given number of
-// rounds (non-positive selects DefaultRounds).
+// rounds (non-positive selects DefaultRounds). The instances live in
+// one block allocation — replicate-heavy sweeps construct a set per
+// replicate, so per-node heap objects add up.
 func New(n, rounds int) []congest.BroadcastAlgorithm {
 	if rounds <= 0 {
 		rounds = DefaultRounds
 	}
 	algs := make([]congest.BroadcastAlgorithm, n)
+	nodes := make([]Algorithm, n)
+	shared := &msgBlock{}
 	for v := range algs {
-		algs[v] = &Algorithm{Rounds: rounds}
+		nodes[v].Rounds = rounds
+		nodes[v].shared = shared
+		algs[v] = &nodes[v]
 	}
 	return algs
 }

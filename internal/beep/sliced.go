@@ -1,0 +1,108 @@
+package beep
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/noise"
+)
+
+// SlicedChannel is the noise fabric of replicate-sliced execution: up to
+// 64 replicates ("lanes") of the same network advance together through
+// lane-transposed reception windows, where word t of a window holds all
+// lanes' receptions of that window's slot t and bit k belongs to lane k.
+//
+// Each lane models one standalone Network: lane k gets its own
+// per-(lane, node) samplers bound to seeds[k] — the replicate's
+// ChannelSeed, split exactly as Network does — and its own absolute
+// round counter, advanced only for windows the lane participates in.
+// The sliced run is therefore bit-identical to running the lanes
+// serially: lane k's samplers consume byte-for-byte the stream a
+// standalone replicate-k Network would (the ApplyLaneInto contract in
+// internal/noise), and its round counter tracks the standalone
+// Network's Round() under the same participation schedule.
+//
+// A SlicedChannel carries no transmission logic — sliced runners
+// propagate their own transposed patterns (the TDMA runner exploits the
+// color-restricted shape of its windows) and call ApplyLaneNoise per
+// node, then Advance once per window. ApplyLaneNoise for distinct nodes
+// may run concurrently (each touches only node v's samplers); Advance
+// and the round accessors must be called from the driving goroutine
+// between windows, like Network's round counter.
+type SlicedChannel struct {
+	model    noise.Model
+	noisy    bool
+	seeds    []uint64
+	rounds   []int
+	samplers [][]noise.Sampler // [lane][node], nil when the model is noiseless
+}
+
+// NewSlicedChannel builds a sliced channel for n nodes with one lane per
+// seed. The model must be validated and resolved by the caller (as
+// Network resolves Params.Noise / Epsilon); samplers are materialized
+// eagerly — creation is a pure function of (model, seed, node), so the
+// order is immaterial and the per-phase hot path stays allocation-free.
+func NewSlicedChannel(model noise.Model, seeds []uint64, n int) (*SlicedChannel, error) {
+	if len(seeds) == 0 || len(seeds) > 64 {
+		return nil, fmt.Errorf("beep: %d lanes outside [1, 64]", len(seeds))
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("beep: %w", err)
+	}
+	c := &SlicedChannel{
+		model:  model,
+		noisy:  !noise.Noiseless(model),
+		seeds:  append([]uint64(nil), seeds...),
+		rounds: make([]int, len(seeds)),
+	}
+	if c.noisy {
+		c.samplers = make([][]noise.Sampler, len(seeds))
+		for k := range seeds {
+			c.samplers[k] = make([]noise.Sampler, n)
+			for v := 0; v < n; v++ {
+				c.samplers[k][v] = model.Sampler(seeds[k], v)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Lanes returns the lane count.
+func (c *SlicedChannel) Lanes() int { return len(c.seeds) }
+
+// Noisy reports whether the channel can flip any bit at all.
+func (c *SlicedChannel) Noisy() bool { return c.noisy }
+
+// Round returns lane's absolute round counter — the standalone
+// Network.Round() of the replicate the lane models.
+func (c *SlicedChannel) Round(lane int) int { return c.rounds[lane] }
+
+// ApplyLaneNoise perturbs node v's lane-transposed reception window in
+// place, one lane at a time, for every lane whose bit is set in active.
+// win[t] holds the pre-noise receptions of the window's slot t; lane k's
+// slots map to its private absolute rounds [Round(k), Round(k)+length).
+// protect, when non-nil, marks cells delivered noise-free in the same
+// transposed layout (a beeping node's own slots under NoisyOwn=false);
+// protected cells still consume the lane's randomness, exactly like the
+// flat path. Inactive lanes consume nothing — their replicates are
+// sitting out this window.
+func (c *SlicedChannel) ApplyLaneNoise(v int, win []uint64, length int, active uint64, protect []uint64) {
+	if !c.noisy || active == 0 {
+		return
+	}
+	for a := active; a != 0; a &= a - 1 {
+		k := bits.TrailingZeros64(a)
+		start := c.rounds[k]
+		c.samplers[k][v].ApplyLaneInto(win, start, start+length, k, protect)
+	}
+}
+
+// Advance commits a window: every active lane's round counter moves past
+// it. Lanes outside active did not participate (no transmissions, no
+// noise consumed, no rounds spent), mirroring the lane-serial runner's
+// skipped zero-sender windows.
+func (c *SlicedChannel) Advance(active uint64, length int) {
+	for a := active; a != 0; a &= a - 1 {
+		c.rounds[bits.TrailingZeros64(a)] += length
+	}
+}

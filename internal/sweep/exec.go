@@ -114,3 +114,146 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	rec.WallNanos = time.Since(start).Nanoseconds()
 	return rec, nil
 }
+
+// sliceKey is the grouping identity of replicate-sliced execution: two
+// scenarios may run as lanes of one sliced engine pass iff they differ
+// only in Replicate, ChannelSeed, AlgSeed — and GraphSeed when the
+// family derives its graph without it (every family except the random
+// ones builds a pure function of N and Param, so replicates share one
+// topology even though grid expansion varies their GraphSeed). The
+// zeroed spec itself is the key — Scenario is comparable, so grouping
+// costs no hashing.
+func sliceKey(sc Scenario) Scenario {
+	sc.Replicate, sc.ChannelSeed, sc.AlgSeed = 0, 0, 0
+	if !graphSeedMatters(sc.Family) {
+		sc.GraphSeed = 0
+	}
+	return sc
+}
+
+// graphSeedMatters reports whether BuildGraph consumes GraphSeed.
+func graphSeedMatters(family string) bool {
+	switch family {
+	case FamilyRegular, FamilyBounded:
+		return true
+	}
+	return false
+}
+
+// slicedCapable reports whether the scenario's engine advertises
+// replicate-sliced execution (sim.SlicedEngine).
+func slicedCapable(sc Scenario) bool {
+	eng, ok := sim.EngineFor(sc.Engine)
+	if !ok {
+		return false
+	}
+	_, ok = eng.(sim.SlicedEngine)
+	return ok
+}
+
+// ExecuteSliced runs a group of scenarios that differ only in their
+// replicate seeds (equal sliceKey) as lanes of one replicate-sliced
+// engine pass. The returned records are positionally parallel to scs
+// and — excepting WallNanos and BuildNanos, the non-deterministic
+// timing fields, which report the group's totals amortized evenly over
+// the lanes — byte-identical to Execute on each spec: slicing is an
+// execution detail, never an identity axis, so hashes, stores, and
+// downstream aggregation cannot observe it.
+func ExecuteSliced(scs []Scenario, opt ExecOptions) ([]Record, error) {
+	return executeSliced(scs, nil, opt)
+}
+
+// executeSliced is ExecuteSliced with optionally precomputed spec
+// hashes (positionally parallel to scs, as the batch layer holds them):
+// hashing is SHA-256 over canonical JSON, too expensive to redo per
+// lane when the caller already paid for it. nil means compute here.
+func executeSliced(scs []Scenario, hashes []string, opt ExecOptions) ([]Record, error) {
+	if len(scs) == 0 || len(scs) > 64 {
+		return nil, fmt.Errorf("sweep: sliced group of %d scenarios outside [1, 64]", len(scs))
+	}
+	key := sliceKey(scs[0])
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		if sliceKey(sc) != key {
+			return nil, fmt.Errorf("sweep: sliced group mixes scenarios beyond their seeds (%s vs %s)", sc.Hash(), scs[0].Hash())
+		}
+	}
+	wl, _ := sim.WorkloadFor(scs[0].Workload) // Validate resolved both
+	eng, _ := sim.EngineFor(scs[0].Engine)
+	seng, ok := eng.(sim.SlicedEngine)
+	if !ok {
+		return nil, fmt.Errorf("sweep: engine %q is not replicate-sliced capable", scs[0].Engine)
+	}
+
+	buildStart := time.Now()
+	g, err := scs[0].buildGraphCached(opt.Artifacts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: build graph: %w", scs[0].Hash(), err)
+	}
+	msgBits := scs[0].MsgBits
+	if msgBits == 0 {
+		msgBits = wl.MsgBits(g)
+	}
+	budget := wl.Budget(g, scs[0].Rounds)
+	lanes := make([]sim.LaneSeeds, len(scs))
+	algs := make([][]congest.BroadcastAlgorithm, len(scs))
+	for k, sc := range scs {
+		lanes[k] = sim.LaneSeeds{ChannelSeed: sc.ChannelSeed, AlgSeed: sc.AlgSeed}
+		algs[k] = wl.Algs(g, sc.Rounds)
+	}
+	inst, err := seng.PrepareSliced(g, sim.Config{
+		MsgBits:   msgBits,
+		Epsilon:   scs[0].Epsilon,
+		Noise:     scs[0].Noise,
+		Workers:   opt.Workers,
+		Shards:    opt.Shards,
+		Workload:  wl,
+		Rounds:    scs[0].Rounds,
+		Artifacts: opt.Artifacts,
+	}, lanes)
+	if err != nil {
+		return nil, err
+	}
+	buildNanos := time.Since(buildStart).Nanoseconds()
+	start := time.Now()
+	results, extras, err := inst.RunSliced(algs, budget)
+	if err != nil {
+		return nil, err
+	}
+	wallNanos := time.Since(start).Nanoseconds()
+
+	recs := make([]Record, len(scs))
+	for k, sc := range scs {
+		hash := ""
+		if hashes != nil {
+			hash = hashes[k]
+		}
+		if hash == "" {
+			hash = sc.Hash()
+		}
+		rec := Record{
+			Hash:       hash,
+			Spec:       sc,
+			Graph:      GraphInfo{N: g.N(), MaxDegree: g.MaxDegree(), Edges: g.M()},
+			BuildNanos: buildNanos / int64(len(scs)),
+			WallNanos:  wallNanos / int64(len(scs)),
+		}
+		rec.Counters = countersFromCore(results[k])
+		rec.Counters.Messages = extras[k][sim.ExtraMessages]
+		rec.Colors = int(extras[k][sim.ExtraColors])
+		rec.Rho = int(extras[k][sim.ExtraRho])
+		rec.SetupRounds = int(extras[k][sim.ExtraSetupRounds])
+		if verr := wl.Verify(g, results[k].Outputs); !errors.Is(verr, sim.ErrUnverified) {
+			var typeErr *sim.OutputTypeError
+			if errors.As(verr, &typeErr) {
+				return nil, fmt.Errorf("sweep: %s: %w", sc.Hash(), typeErr)
+			}
+			outputOK := rec.Counters.AllDone && verr == nil
+			rec.Counters.OutputOK = &outputOK
+		}
+		recs[k] = rec
+	}
+	return recs, nil
+}

@@ -141,10 +141,33 @@ func SetBit(msg []byte, k int, v bool) {
 }
 
 // Equal reports whether two messages carry identical bits up to bits
-// positions (both padded with zeros beyond their length).
+// positions (both padded with zeros beyond their length). It compares
+// whole bytes (masking the final partial byte) rather than looping per
+// bit — the engines' scoring paths call it once per delivered message.
 func Equal(a, b []byte, bits int) bool {
-	for k := 0; k < bits; k++ {
-		if Bit(a, k) != Bit(b, k) {
+	n := bits / 8
+	for k := 0; k < n; k++ {
+		var av, bv byte
+		if k < len(a) {
+			av = a[k]
+		}
+		if k < len(b) {
+			bv = b[k]
+		}
+		if av != bv {
+			return false
+		}
+	}
+	if rem := bits % 8; rem != 0 {
+		var av, bv byte
+		if n < len(a) {
+			av = a[n]
+		}
+		if n < len(b) {
+			bv = b[n]
+		}
+		mask := byte(1<<uint(rem)) - 1
+		if av&mask != bv&mask {
 			return false
 		}
 	}
