@@ -4,11 +4,16 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-only T4,T9] [-workers W] [-shards S] [-json FILE]
+//	            [-metrics] [-telemetry ADDR]
 //
 // -workers parallelizes the simulators' per-round phases (0 = one worker
 // per CPU, 1 = serial); every table is bit-identical for every setting.
 // -json additionally emits each table as one JSONL line ("-" = stdout),
-// in the same framing the sweep result store uses.
+// in the same framing the sweep result store uses. -metrics collects the
+// deterministic telemetry registry across the suite and prints it as a
+// table on stderr; -telemetry ADDR serves it live over HTTP alongside
+// suite progress (one unit per experiment). Telemetry is observation-only
+// — every table is byte-identical with it on or off.
 package main
 
 import (
@@ -20,20 +25,23 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "run reduced-size experiments")
-		seed     = flag.Uint64("seed", 2023, "experiment seed")
-		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		workers  = flag.Int("workers", 0, "simulation workers: 0 = one per CPU, 1 = serial")
-		shards   = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
-		jsonPath = flag.String("json", "", "also emit tables as JSONL to this file (\"-\" = stdout)")
+		quick     = flag.Bool("quick", false, "run reduced-size experiments")
+		seed      = flag.Uint64("seed", 2023, "experiment seed")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		workers   = flag.Int("workers", 0, "simulation workers: 0 = one per CPU, 1 = serial")
+		shards    = flag.Int("shards", 0, "worker-pool shards (0 = derived from workers)")
+		jsonPath  = flag.String("json", "", "also emit tables as JSONL to this file (\"-\" = stdout)")
+		metrics   = flag.Bool("metrics", false, "collect telemetry and print a metrics table to stderr")
+		telemetry = flag.String("telemetry", "", "serve live introspection (metrics, progress, pprof) on ADDR; implies -metrics collection")
 	)
 	flag.Parse()
-	if err := run(*quick, *seed, *only, *workers, *shards, *jsonPath); err != nil {
+	if err := run(*quick, *seed, *only, *workers, *shards, *jsonPath, *metrics, *telemetry); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -48,8 +56,11 @@ type jsonTable struct {
 	ElapsedM int64  `json:"elapsed_ms"`
 }
 
-func run(quick bool, seed uint64, only string, workers, shards int, jsonPath string) error {
+func run(quick bool, seed uint64, only string, workers, shards int, jsonPath string, metrics bool, telemetry string) error {
 	cfg := experiments.Config{Quick: quick, Seed: seed, Workers: workers, Shards: shards}
+	if metrics || telemetry != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	known := make(map[string]bool)
 	var ids []string
 	for _, e := range experiments.All() {
@@ -78,6 +89,21 @@ func run(quick bool, seed uint64, only string, workers, shards int, jsonPath str
 		defer f.Close()
 		jsonOut = f
 	}
+	total := 0
+	for _, e := range experiments.All() {
+		if len(selected) == 0 || selected[e.ID] {
+			total++
+		}
+	}
+	progress := obs.NewProgress(total)
+	if telemetry != "" {
+		srv, err := obs.Serve(telemetry, cfg.Metrics, progress)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: telemetry listening on http://%s\n", srv.Addr())
+	}
 	for _, e := range experiments.All() {
 		if len(selected) > 0 && !selected[e.ID] {
 			continue
@@ -85,8 +111,10 @@ func run(quick bool, seed uint64, only string, workers, shards int, jsonPath str
 		start := time.Now()
 		tbl, err := e.Run(cfg)
 		if err != nil {
+			progress.Observe(false, true)
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		progress.Observe(false, false)
 		elapsed := time.Since(start)
 		fmt.Print(tbl.Render())
 		fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
@@ -95,6 +123,12 @@ func run(quick bool, seed uint64, only string, workers, shards int, jsonPath str
 			if err := sweep.EncodeJSONL(jsonOut, rec); err != nil {
 				return err
 			}
+		}
+	}
+	if cfg.Metrics != nil {
+		fmt.Fprintln(os.Stderr, "experiments: metrics:")
+		if err := obs.WriteSummary(os.Stderr, cfg.Metrics); err != nil {
+			return err
 		}
 	}
 	return nil

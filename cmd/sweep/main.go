@@ -27,9 +27,20 @@
 // parameters, so the ε axis collapses under them (and under the native
 // engines); Expand deduplicates the collapsed grid points.
 //
-// The final stderr line reports cache effectiveness, e.g.
-// "sweep: total=48 cached=48 run=0 failed=0 wall=12ms" — a second run of
-// the same grid performs zero engine work.
+// The final stderr line reports cache effectiveness — batch stats plus
+// the artifact cache's hit/miss counters, e.g.
+// "sweep: total=48 cached=48 run=0 failed=0 wall=12ms artifacts[graphs
+// 2/2 codes 0/1 (hits/misses)]" — a second run of the same grid performs
+// zero engine work.
+//
+// Telemetry: -metrics collects the deterministic instrumentation
+// registry (phase timers, decode counters, noise-flip accounting, pool
+// and cache traffic) and prints it as a table on stderr; with -store it
+// also writes a one-line JSONL telemetry artifact beside the result
+// store (<store>.telemetry.jsonl). -telemetry ADDR additionally serves
+// live introspection over HTTP (/metrics, /progress, /debug/vars,
+// /debug/pprof/) for the duration of the run. Both are observation-only:
+// records are byte-identical with telemetry on or off.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -64,6 +76,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "engine-pool shards (0 = derived from workers)")
 		noAgg      = flag.Bool("noagg", false, "skip the aggregate table")
 		verbose    = flag.Bool("v", false, "stream per-scenario progress to stderr")
+		metrics    = flag.Bool("metrics", false, "collect telemetry and print a metrics table to stderr (with -store, also write <store>.telemetry.jsonl)")
+		telemetry  = flag.String("telemetry", "", "serve live introspection (metrics, progress, pprof) on ADDR for the run's duration; implies -metrics collection")
 	)
 	flag.Parse()
 
@@ -88,12 +102,18 @@ func main() {
 		fatal(err)
 	}
 
-	if err := run(grid, *storePath, *jobs, *workers, *shards, !*noAgg, *verbose); err != nil {
+	if err := run(grid, *storePath, *jobs, *workers, *shards, !*noAgg, *verbose, *metrics, *telemetry); err != nil {
 		fatal(err)
 	}
 }
 
-func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verbose bool) error {
+// telemetryPath is the JSONL telemetry artifact written beside the
+// result store: results.jsonl -> results.telemetry.jsonl.
+func telemetryPath(storePath string) string {
+	return strings.TrimSuffix(storePath, ".jsonl") + ".telemetry.jsonl"
+}
+
+func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verbose, metrics bool, telemetry string) error {
 	scenarios, err := grid.Expand()
 	if err != nil {
 		return err
@@ -110,25 +130,65 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 		}
 	}
 
-	opt := sweep.Options{Jobs: jobs, Workers: workers, Shards: shards}
-	if verbose {
-		opt.Progress = func(ev sweep.Event) {
-			status := "ran"
-			switch {
-			case ev.Err != nil:
-				status = "FAILED: " + ev.Err.Error()
-			case ev.Cached:
-				status = "cached"
-			}
-			sc := ev.Record.Spec
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s/%s/%s n=%d param=%d eps=%g rep=%d: %s\n",
-				ev.Done, ev.Total, ev.Record.Hash, sc.Workload, sc.Engine, sc.Family,
-				sc.N, sc.Param, sc.Epsilon, sc.Replicate, status)
+	artifacts := sim.NewCache()
+	opt := sweep.Options{Jobs: jobs, Workers: workers, Shards: shards, Artifacts: artifacts}
+	var reg *obs.Registry
+	if metrics || telemetry != "" {
+		reg = obs.NewRegistry()
+		opt.Metrics = reg
+	}
+	progress := obs.NewProgress(len(scenarios))
+	if telemetry != "" {
+		srv, err := obs.Serve(telemetry, reg, progress)
+		if err != nil {
+			return err
 		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: telemetry listening on http://%s\n", srv.Addr())
+	}
+	opt.Progress = func(ev sweep.Event) {
+		progress.Observe(ev.Cached, ev.Err != nil)
+		if !verbose {
+			return
+		}
+		status := "ran"
+		switch {
+		case ev.Err != nil:
+			status = "FAILED: " + ev.Err.Error()
+		case ev.Cached:
+			status = "cached"
+		}
+		sc := ev.Record.Spec
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s %s/%s/%s n=%d param=%d eps=%g rep=%d: %s\n",
+			ev.Done, ev.Total, ev.Record.Hash, sc.Workload, sc.Engine, sc.Family,
+			sc.N, sc.Param, sc.Epsilon, sc.Replicate, status)
 	}
 
 	records, stats, runErr := sweep.Run(scenarios, store, opt)
-	fmt.Fprintf(os.Stderr, "sweep: %s\n", stats)
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", sweep.Summary(stats, artifacts.Stats()))
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "sweep: metrics:")
+		if err := obs.WriteSummary(os.Stderr, reg); err != nil {
+			return err
+		}
+		if storePath != "" {
+			f, err := os.Create(telemetryPath(storePath))
+			if err != nil {
+				return err
+			}
+			meta := map[string]any{"store": storePath, "stats": stats.String(), "progress": progress.Snapshot()}
+			if werr := obs.WriteJSONL(f, meta, reg); werr == nil {
+				werr = f.Close()
+				if werr != nil {
+					return werr
+				}
+			} else {
+				f.Close()
+				return werr
+			}
+			fmt.Fprintf(os.Stderr, "sweep: telemetry written to %s\n", telemetryPath(storePath))
+		}
+	}
 
 	if agg {
 		var ok []sweep.Record

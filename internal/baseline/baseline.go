@@ -28,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -57,6 +58,21 @@ type Config struct {
 	// engine.AutoWorkers = GOMAXPROCS).
 	Workers int
 	Shards  int
+	// Metrics, when non-nil, receives baseline telemetry — encode/decode
+	// phase timers, slot counters, and (via the beep channel) per-model
+	// noise-flip accounting; the sliced runner adds lane occupancy and
+	// retirement. Observation-only per the determinism contract.
+	Metrics *obs.Registry
+}
+
+// tdmaMetrics are the flat runner's resolved telemetry handles; the
+// zero value is the disabled state.
+type tdmaMetrics struct {
+	simRounds   *obs.Counter // simulated Broadcast CONGEST rounds
+	emptyRounds *obs.Counter // zero-sender rounds (radio window skipped)
+	encodeT     *obs.Timer   // phase: slot-pattern encoding
+	radioT      *obs.Timer   // phase: the TDMA window
+	decodeT     *obs.Timer   // phase: majority decode + deliver + score
 }
 
 // DefaultRho returns a repetition count calibrated to eps, mirroring the
@@ -94,6 +110,7 @@ type Runner struct {
 	patBuf   []*bitstring.BitString // per-node slot patterns, created lazily
 	heard    []*bitstring.BitString
 	scratch  []*shardScratch
+	m        tdmaMetrics
 }
 
 // shardScratch is one execution-pool shard's reusable decode/score state.
@@ -137,6 +154,7 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 		Seed:     cfg.ChannelSeed,
 		Workers:  cfg.Workers,
 		Shards:   cfg.Shards,
+		Metrics:  cfg.Metrics,
 	}
 	if model != nil {
 		beepParams.Epsilon, beepParams.Noise = 0, model
@@ -163,6 +181,15 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 	r.scratch = make([]*shardScratch, nw.Pool().NumShards(n))
 	for i := range r.scratch {
 		r.scratch[i] = &shardScratch{}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		r.m = tdmaMetrics{
+			simRounds:   reg.Counter("tdma.rounds.sim"),
+			emptyRounds: reg.Counter("tdma.rounds.empty"),
+			encodeT:     reg.Timer("tdma.phase.encode_nanos"),
+			radioT:      reg.Timer("tdma.phase.radio_nanos"),
+			decodeT:     reg.Timer("tdma.phase.decode_nanos"),
+		}
 	}
 	return r, nil
 }
@@ -262,11 +289,13 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 
 	simRounds, allDone, err := pool.Loop(n, maxSimRounds, doneAt, func(round int) error {
 		curRound = round
+		r.m.simRounds.Inc()
 		senders, err := collector.Collect(round)
 		if err != nil {
 			return err
 		}
 		if senders == 0 {
+			r.m.emptyRounds.Inc()
 			for _, a := range algs {
 				if !a.Done() {
 					a.Receive(round, nil)
@@ -275,13 +304,19 @@ func (r *Runner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds int) (*core
 			return nil
 		}
 
+		sp := r.m.encodeT.Start()
 		pool.Do(n, encodePhase)
+		sp.Stop()
+		sp = r.m.radioT.Start()
 		if err := r.nw.RunPhaseInto(r.patterns, r.heard); err != nil {
 			return err
 		}
+		sp.Stop()
 		res.BeepRounds += total
 
+		sp = r.m.decodeT.Start()
 		pool.Do(n, decodePhase)
+		sp.Stop()
 		res.AddScores(scores)
 		return nil
 	})

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -62,12 +63,25 @@ type SlicedRunner struct {
 	// score counters are provably zero and the scoring pass is skipped.
 	quiet bool
 
-	patterns [][]uint64 // [v][slotLen()], own-color-slot transposed beeps
-	sendMask []uint64   // [v] lanes in which v transmits this round
-	doneMask []uint64   // [v] lanes whose node v was done at collect time
-	heard    [][]uint64 // [v][RoundsPerSimRound()] transposed receptions
+	patterns [][]uint64          // [v][slotLen()], own-color-slot transposed beeps
+	sendMask []uint64            // [v] lanes in which v transmits this round
+	doneMask []uint64            // [v] lanes whose node v was done at collect time
+	heard    [][]uint64          // [v][RoundsPerSimRound()] transposed receptions
 	msgs     [][]congest.Message // [lane][v]
 	scratch  []*slicedScratch
+	m        slicedMetrics
+}
+
+// slicedMetrics are the sliced runner's telemetry handles; zero value =
+// disabled. Occupancy and retirement are the sliced path's distinctive
+// signals: how full the 64-lane words actually run, and how unevenly
+// replicates finish.
+type slicedMetrics struct {
+	lanes      *obs.Counter   // lanes started (one per replicate per Run)
+	laneRounds *obs.Counter   // sum over rounds of active lanes
+	retired    *obs.Counter   // lanes retired before the round budget
+	windows    *obs.Counter   // transposed radio windows executed
+	occupancy  *obs.Histogram // active lanes per executed round
 }
 
 // slicedScratch is one pool shard's reusable per-round state.
@@ -76,8 +90,8 @@ type slicedScratch struct {
 	msgPool   []congest.MessagePool // per lane
 	truth     []congest.Message
 	truthPool congest.MessagePool
-	protect   []uint64 // zero except while one node's noise is applied
-	bm        []uint64 // [MsgBits] per-bit lane masks (encodePhase scatter)
+	protect   []uint64          // zero except while one node's noise is applied
+	bm        []uint64          // [MsgBits] per-bit lane masks (encodePhase scatter)
 	scores    []core.ScoreDelta // per lane, current round
 	sends     []int64           // per lane, current round
 	ones      []int64           // per lane, payload bits set this round
@@ -174,6 +188,24 @@ func NewSlicedRunner(g *graph.Graph, cfg Config, lanes []LaneConfig) (*SlicedRun
 			ones:    make([]int64, len(lanes)),
 		}
 	}
+	if reg := cfg.Metrics; reg != nil {
+		r.m = slicedMetrics{
+			lanes:      reg.Counter("tdma.sliced.lanes"),
+			laneRounds: reg.Counter("tdma.sliced.lane_rounds"),
+			retired:    reg.Counter("tdma.sliced.retired_early"),
+			windows:    reg.Counter("tdma.sliced.windows"),
+			occupancy:  reg.Histogram("tdma.sliced.occupancy"),
+		}
+		r.pool.Instrument(&engine.PoolMetrics{
+			Do:    reg.Counter("pool.do"),
+			Spans: reg.Counter("pool.spans"),
+			Wait:  reg.Timer("pool.do_wait_nanos"),
+		})
+		// The accounting hook: wrap every lane's samplers so applied
+		// flips land in the per-model counter, byte-identically (see
+		// beep.SlicedChannel.CountFlips).
+		channel.CountFlips(reg.Counter("noise.flips." + model.Name()))
+	}
 	return r, nil
 }
 
@@ -237,6 +269,7 @@ func (r *SlicedRunner) Run(algs [][]congest.BroadcastAlgorithm, maxSimRounds int
 	}
 
 	active := laneMask(len(r.lanes)) // lanes still inside their round loop
+	r.m.lanes.Add(int64(len(r.lanes)))
 	senders := make([]int64, len(r.lanes))
 	var (
 		curRound   int
@@ -417,12 +450,18 @@ func (r *SlicedRunner) Run(algs [][]congest.BroadcastAlgorithm, maxSimRounds int
 				results[k].SimRounds = round
 				results[k].AllDone = true
 				active &^= 1 << uint(k)
+				r.m.retired.Inc()
 			}
 		}
 		if active == 0 {
 			break
 		}
 		curRound, curActive = round, active
+		if r.m.occupancy != nil {
+			occ := int64(bits.OnesCount64(active))
+			r.m.occupancy.Observe(occ)
+			r.m.laneRounds.Add(occ)
+		}
 		r.pool.Do(n, collectPhase)
 		var firstErr error
 		errNode := n
@@ -471,6 +510,7 @@ func (r *SlicedRunner) Run(algs [][]congest.BroadcastAlgorithm, maxSimRounds int
 		}
 		r.pool.Do(n, radioPhase)
 		r.channel.Advance(curSenders, total)
+		r.m.windows.Inc()
 		r.pool.Do(n, decodePhase)
 		for _, sc := range r.scratch {
 			for k := range sc.scores {

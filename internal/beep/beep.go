@@ -37,6 +37,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -107,6 +108,22 @@ type Params struct {
 	// Shards overrides the pool's shard count (0 = derived from Workers).
 	// Like Workers it never changes results, only load balancing.
 	Shards int
+	// Metrics, when non-nil, receives channel telemetry (rounds, windows,
+	// energy, per-model applied noise flips, pool dispatch stats). Per
+	// the determinism contract instrumentation is observation-only: it
+	// consumes no randomness and branches on no channel data, so runs
+	// are byte-identical with Metrics set or nil.
+	Metrics *obs.Registry
+}
+
+// netMetrics are the network's resolved telemetry handles; the zero
+// value (all nil) is the disabled state and every update no-ops.
+type netMetrics struct {
+	rounds  *obs.Counter // channel rounds advanced
+	windows *obs.Counter // batch windows executed (RunPhaseInto calls)
+	beeps   *obs.Counter // energy: beeps transmitted
+	flips   *obs.Counter // applied noise flips, named per model
+	windowT *obs.Timer   // wall time per batch window
 }
 
 // Network is a beeping network over a fixed graph. It maintains a global
@@ -127,6 +144,7 @@ type Network struct {
 	totalBeeps int64
 	noise      []noise.Sampler
 	history    []*bitstring.BitString
+	m          netMetrics
 
 	// Reusable batch-phase state: the span callback is built once and
 	// reads the current window through these fields, so a RunPhaseInto
@@ -154,14 +172,29 @@ func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
 			return nil, fmt.Errorf("beep: %w", err)
 		}
 	}
-	return &Network{
+	nw := &Network{
 		g:      g,
 		params: params,
 		pool:   engine.NewPool(params.Workers, params.Shards),
 		model:  model,
 		noisy:  !noise.Noiseless(model),
 		noise:  make([]noise.Sampler, g.N()),
-	}, nil
+	}
+	if reg := params.Metrics; reg != nil {
+		nw.m = netMetrics{
+			rounds:  reg.Counter("beep.rounds"),
+			windows: reg.Counter("beep.windows"),
+			beeps:   reg.Counter("beep.beeps"),
+			flips:   reg.Counter("noise.flips." + model.Name()),
+			windowT: reg.Timer("beep.window_nanos"),
+		}
+		nw.pool.Instrument(&engine.PoolMetrics{
+			Do:    reg.Counter("pool.do"),
+			Spans: reg.Counter("pool.spans"),
+			Wait:  reg.Timer("pool.do_wait_nanos"),
+		})
+	}
+	return nw, nil
 }
 
 // Graph returns the underlying graph.
@@ -232,7 +265,7 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 		heard.Reset()
 		// Transmit phase: each shard writes only its own word-aligned
 		// region of the beep vector.
-		nw.totalBeeps += nw.pool.Sum(n, func(s engine.Span) int64 {
+		beeps := nw.pool.Sum(n, func(s engine.Span) int64 {
 			var beeps int64
 			for v := s.Lo; v < s.Hi; v++ {
 				p := progs[v]
@@ -246,6 +279,8 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 			}
 			return beeps
 		})
+		nw.totalBeeps += beeps
+		nw.m.beeps.Add(beeps)
 		if nw.params.RecordBeeps {
 			nw.history = append(nw.history, beeped.Clone())
 		}
@@ -269,6 +304,7 @@ func (nw *Network) Run(progs []Program, maxRounds int) (*Result, error) {
 			})
 		}
 		nw.round++
+		nw.m.rounds.Inc()
 		return nil
 	})
 	outputs := make([]any, n)
@@ -349,11 +385,14 @@ func (nw *Network) RunPhaseInto(patterns, dst []*bitstring.BitString) error {
 		}
 	}
 
+	var beeps int64
 	for v := 0; v < n; v++ {
 		if patterns[v] != nil {
-			nw.totalBeeps += int64(patterns[v].Ones())
+			beeps += int64(patterns[v].Ones())
 		}
 	}
+	nw.totalBeeps += beeps
+	nw.m.beeps.Add(beeps)
 	if nw.noisy && nw.pool.Parallel() {
 		// Pre-create noise samplers (lazy creation inside the phase would
 		// be per-slot too, but keeping it here makes the invariant obvious).
@@ -369,7 +408,11 @@ func (nw *Network) RunPhaseInto(patterns, dst []*bitstring.BitString) error {
 		}
 	}
 	nw.phasePatterns, nw.phaseDst, nw.phaseWin = patterns, dst, length
+	sp := nw.m.windowT.Start()
 	nw.pool.Do(n, nw.phaseFn)
+	sp.Stop()
+	nw.m.windows.Inc()
+	nw.m.rounds.Add(int64(length))
 	nw.phasePatterns, nw.phaseDst = nil, nil // don't retain caller buffers
 	if nw.params.RecordBeeps {
 		for t := 0; t < length; t++ {
@@ -442,7 +485,17 @@ func (nw *Network) receiveInto(v int, patterns []*bitstring.BitString, length in
 // byte-identical across the pluggable-model refactor.
 func (nw *Network) noiseSampler(v int) noise.Sampler {
 	if nw.noise[v] == nil {
-		nw.noise[v] = nw.model.Sampler(nw.params.Seed, v)
+		s := nw.model.Sampler(nw.params.Seed, v)
+		// The counting wrapper is the telemetry accounting hook: it
+		// observes applied flips by before/after comparison and delegates
+		// all randomness consumption, so wrapped receptions are
+		// byte-identical (pinned by the noise package's counting tests).
+		// The pointer check matters: a nil *obs.Counter boxed into the
+		// Accountant interface would not be a nil interface.
+		if nw.m.flips != nil {
+			s = noise.Counting(s, nw.m.flips)
+		}
+		nw.noise[v] = s
 	}
 	return nw.noise[v]
 }

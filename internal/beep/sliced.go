@@ -67,6 +67,24 @@ func NewSlicedChannel(model noise.Model, seeds []uint64, n int) (*SlicedChannel,
 	return c, nil
 }
 
+// CountFlips wraps every lane's samplers with the telemetry accounting
+// hook so applied noise flips accumulate into acc. Call once, after
+// construction and before the first window. Observation-only: the
+// counting wrapper delegates all randomness consumption and counts by
+// before/after comparison, so receptions are byte-identical wrapped or
+// not (pinned by the noise package's counting tests). No-op when acc is
+// nil or the model is noiseless.
+func (c *SlicedChannel) CountFlips(acc noise.Accountant) {
+	if acc == nil || !c.noisy {
+		return
+	}
+	for k := range c.samplers {
+		for v := range c.samplers[k] {
+			c.samplers[k][v] = noise.Counting(c.samplers[k][v], acc)
+		}
+	}
+}
+
 // Lanes returns the lane count.
 func (c *SlicedChannel) Lanes() int { return len(c.seeds) }
 

@@ -191,6 +191,30 @@ func (c *RepetitionCode) DecodeScatteredInto(y *bitstring.BitString, positions [
 	return out
 }
 
+// FallbackBits counts the message bits the decoder would resolve via
+// the best-effort fallback threshold for reliability mask solo — bits
+// with zero solo-covered positions. It is a pure function of solo (the
+// fallback branch in DecodeInto/DecodeScatteredInto fires iff a bit's
+// whole row is non-solo), so telemetry can account fallbacks without
+// touching the decode hot path. solo must have Length() bits.
+func (c *RepetitionCode) FallbackBits(solo *bitstring.BitString) int {
+	sw := solo.Words()
+	fallbacks := 0
+	for bit := 0; bit < c.msgBits; bit++ {
+		covered := false
+		for _, j := range c.byBit[bit] {
+			if sw[j>>6]&(1<<(uint(j)&63)) != 0 {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			fallbacks++
+		}
+	}
+	return fallbacks
+}
+
 var _ DistanceCode = (*RepetitionCode)(nil)
 
 // maxRandomCodeBits caps the message space of RandomDistanceCode; its

@@ -260,3 +260,46 @@ func BenchmarkRandomDistanceDecode(b *testing.B) {
 		_ = c.Decode(obs, allSolo)
 	}
 }
+
+// TestFallbackBitsMatchesDecodeBranch pins FallbackBits to the decoder:
+// a bit counts as fallback iff DecodeInto's solo-majority loop sees
+// zero covered positions for it. Cross-checked by re-deriving coverage
+// from the public BitFor table under assorted solo masks.
+func TestFallbackBitsMatchesDecodeBranch(t *testing.T) {
+	c, err := NewRepetitionCode(16, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks := map[string]*bitstring.BitString{
+		"none": bitstring.New(c.Length()),
+		"all":  bitstring.New(c.Length()).Not(),
+	}
+	sparse := bitstring.New(c.Length())
+	for j := 0; j < c.Length(); j += 7 {
+		sparse.Set(j)
+	}
+	masks["sparse"] = sparse
+	for label, solo := range masks {
+		covered := make([]bool, c.MessageBits())
+		for j := 0; j < c.Length(); j++ {
+			if solo.Get(j) {
+				covered[c.BitFor(j)] = true
+			}
+		}
+		want := 0
+		for _, cov := range covered {
+			if !cov {
+				want++
+			}
+		}
+		if got := c.FallbackBits(solo); got != want {
+			t.Errorf("%s: FallbackBits = %d, want %d", label, got, want)
+		}
+	}
+	if got := c.FallbackBits(bitstring.New(c.Length())); got != c.MessageBits() {
+		t.Errorf("empty solo: FallbackBits = %d, want every bit (%d)", got, c.MessageBits())
+	}
+	if got := c.FallbackBits(bitstring.New(c.Length()).Not()); got != 0 {
+		t.Errorf("full solo: FallbackBits = %d, want 0", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -47,6 +48,29 @@ type RunnerConfig struct {
 	// Shards overrides the worker pool's shard count (0 = derived from
 	// Workers). Like Workers it never changes results.
 	Shards int
+	// Metrics, when non-nil, receives runner telemetry — per-phase
+	// timers, decode-stage counters (members, solo-filter hits,
+	// best-effort fallback bits) — and is forwarded to the beep channel
+	// for slot/flip accounting. Observation-only by the determinism
+	// contract: results are byte-identical with Metrics set or nil.
+	Metrics *obs.Registry
+}
+
+// runnerMetrics are the runner's resolved telemetry handles; the zero
+// value is the disabled state and every update no-ops. Decode-stage
+// counts accumulate per execution span and fold in with one atomic add
+// per span — sums commute, so totals are deterministic under any
+// Workers/Shards setting.
+type runnerMetrics struct {
+	simRounds    *obs.Counter // simulated Broadcast CONGEST rounds
+	emptyRounds  *obs.Counter // zero-sender rounds (radio phases skipped)
+	members      *obs.Counter // decoded neighborhood members delivered
+	soloFiltered *obs.Counter // decodes whose solo mask filtered >= 1 position
+	fallbackBits *obs.Counter // message bits resolved via best-effort fallback
+	collectT     *obs.Timer   // phase: broadcast collection
+	radio1T      *obs.Timer   // phase: phase-1 propagation window
+	radio2T      *obs.Timer   // phase: phase-2 data window
+	decodeT      *obs.Timer   // phase: decode + deliver + score
 }
 
 // Result reports a simulated Broadcast CONGEST execution. The JSON tags
@@ -101,6 +125,7 @@ type BroadcastRunner struct {
 	xs, ys    []*bitstring.BitString
 	phase2Buf []*bitstring.BitString
 	scratch   []*shardScratch
+	m         runnerMetrics
 }
 
 // shardScratch is one execution-pool shard's decode/deliver/score state.
@@ -152,6 +177,7 @@ func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, err
 		RecordBeeps: cfg.RecordBeeps,
 		Workers:     cfg.Workers,
 		Shards:      cfg.Shards,
+		Metrics:     cfg.Metrics,
 	}
 	if cfg.Params.Noise != "" {
 		model, err := noise.Parse(cfg.Params.Noise)
@@ -190,6 +216,19 @@ func NewBroadcastRunner(g *graph.Graph, cfg RunnerConfig) (*BroadcastRunner, err
 		r.cwStreams = make([]*rng.Stream, n)
 		for v := range r.cwStreams {
 			r.cwStreams[v] = rng.New(cfg.ChannelSeed).Split(0x637721, uint64(v)) // "cw"
+		}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		r.m = runnerMetrics{
+			simRounds:    reg.Counter("core.rounds.sim"),
+			emptyRounds:  reg.Counter("core.rounds.empty"),
+			members:      reg.Counter("core.decode.members"),
+			soloFiltered: reg.Counter("core.decode.solo_filtered"),
+			fallbackBits: reg.Counter("core.decode.fallback_bits"),
+			collectT:     reg.Timer("core.phase.collect_nanos"),
+			radio1T:      reg.Timer("core.phase.radio1_nanos"),
+			radio2T:      reg.Timer("core.phase.radio2_nanos"),
+			decodeT:      reg.Timer("core.phase.decode_nanos"),
 		}
 	}
 	return r, nil
@@ -291,9 +330,17 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 	// Decode and deliver, on per-shard scratch. Scoring accumulates per
 	// span and is summed in span order so counters match the serial run
 	// exactly.
+	// instrumented gates the decode phase's per-member accounting: the
+	// counts (members, solo-filter hits, fallback-decoded bits) are pure
+	// functions of already-computed decode state, accumulated per span
+	// and folded with one atomic add each, so the disabled path pays a
+	// single bool test per span.
+	instrumented := r.m.members != nil
+	soloOnes := p.W()
 	decodePhase := func(s engine.Span) {
 		sc := r.scratch[s.Index]
 		scores[s.Index] = ScoreDelta{}
+		var members, soloFiltered, fallbackBits int64
 		for v := s.Lo; v < s.Hi; v++ {
 			a := algs[v]
 			if a.Done() {
@@ -313,6 +360,13 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 				if !p.DisableSoloFilter {
 					solo = sc.dec.solos[i]
 				}
+				if instrumented {
+					members++
+					if solo.Ones() != soloOnes {
+						soloFiltered++
+					}
+					fallbackBits += int64(r.dec.dist.FallbackBits(solo))
+				}
 				buf := sc.msgPool.Buf(len(inbox), r.dec.msgBytes)
 				inbox = append(inbox, r.dec.decodeMessage(t, r.ys[v], solo, buf))
 			}
@@ -322,13 +376,21 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 			a.Receive(curRound, inbox)
 			sc.inbox = inbox[:0]
 		}
+		if instrumented {
+			r.m.members.Add(members)
+			r.m.soloFiltered.Add(soloFiltered)
+			r.m.fallbackBits.Add(fallbackBits)
+		}
 	}
 
 	simRounds, allDone, err := pool.Loop(n, maxSimRounds, done, func(round int) error {
 		curRound = round
+		r.m.simRounds.Inc()
 		// Collect the round's broadcasts; nil means the node stays silent
 		// and only listens.
+		sp := r.m.collectT.Start()
 		senders, err := collector.Collect(round)
+		sp.Stop()
 		if err != nil {
 			return err
 		}
@@ -336,6 +398,7 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 			// Nothing on the air: every active node hears (noisy) silence
 			// and decodes an empty neighborhood. We skip the radio phases
 			// but still deliver the empty multiset.
+			r.m.emptyRounds.Inc()
 			for _, a := range algs {
 				if !a.Done() {
 					a.Receive(round, nil)
@@ -346,16 +409,22 @@ func (r *BroadcastRunner) Run(algs []congest.BroadcastAlgorithm, maxSimRounds in
 
 		pool.Do(n, assignPhase)
 		pool.Do(n, phase1)
+		sp = r.m.radio1T.Start()
 		if err := r.nw.RunPhaseInto(r.patterns, r.xs); err != nil {
 			return err
 		}
+		sp.Stop()
 		pool.Do(n, phase2)
+		sp = r.m.radio2T.Start()
 		if err := r.nw.RunPhaseInto(r.patterns, r.ys); err != nil {
 			return err
 		}
+		sp.Stop()
 		res.BeepRounds += p.RoundsPerSimRound()
 
+		sp = r.m.decodeT.Start()
 		pool.Do(n, decodePhase)
+		sp.Stop()
 		res.AddScores(scores)
 		return nil
 	})

@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Span is one shard of the vertex range: vertices [Lo, Hi), with Index
@@ -51,6 +53,29 @@ type Pool struct {
 	// several times per round for one fixed n, and the result is a pure
 	// function of (n, shards).
 	spans atomic.Pointer[spanCache]
+	// metrics, when set via Instrument, observes Do calls. Observation
+	// only: per the determinism contract it never changes what or where
+	// anything is computed.
+	metrics atomic.Pointer[PoolMetrics]
+}
+
+// PoolMetrics are the pool's telemetry sinks (internal/obs handles):
+// Do counts phase dispatches, Spans counts spans executed, and Wait
+// times each Do call (dispatch to completion barrier — the "span wait"
+// a caller experiences). Any field may be nil.
+type PoolMetrics struct {
+	Do    *obs.Counter
+	Spans *obs.Counter
+	Wait  *obs.Timer
+}
+
+// Instrument attaches metrics to the pool. Call once at construction
+// time; passing nil detaches. Safe concurrently with Do, though the
+// intended use is configure-then-run.
+func (p *Pool) Instrument(m *PoolMetrics) {
+	if p != nil {
+		p.metrics.Store(m)
+	}
 }
 
 type spanCache struct {
@@ -138,6 +163,14 @@ func (p *Pool) Do(n int, fn func(Span)) {
 	spans := p.Spans(n)
 	if len(spans) == 0 {
 		return
+	}
+	if p != nil {
+		if m := p.metrics.Load(); m != nil {
+			m.Do.Inc()
+			m.Spans.Add(int64(len(spans)))
+			sp := m.Wait.Start()
+			defer sp.Stop()
+		}
 	}
 	workers := p.Workers()
 	if workers == 1 || len(spans) == 1 {

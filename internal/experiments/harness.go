@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -39,6 +40,10 @@ type Config struct {
 	Workers int
 	// Shards overrides the pool's shard count (0 = derived from Workers).
 	Shards int
+	// Metrics, when non-nil, receives the suite's observation-only
+	// telemetry (phase timers, decode counters, noise accounting) through
+	// the sweep and engine layers. Never changes any table.
+	Metrics *obs.Registry
 }
 
 // poolWorkers resolves Config.Workers (0 = one per CPU) to the engine
@@ -123,6 +128,7 @@ func runSweep(cfg Config, scs []sweep.Scenario) ([]sweep.Record, error) {
 		Jobs:    1,
 		Workers: cfg.poolWorkers(),
 		Shards:  cfg.Shards,
+		Metrics: cfg.Metrics,
 	})
 	return recs, err
 }
@@ -146,6 +152,7 @@ func runGossip(cfg Config, g *graph.Graph, p core.Params, rounds int, channelSee
 		NoisyOwn:    true,
 		Workers:     cfg.poolWorkers(),
 		Shards:      cfg.Shards,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return gossipStats{}, err

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live batch progress feed behind the introspection
+// endpoint's /progress: the CLI's sweep callback updates it, HTTP
+// readers snapshot it. Lock-free; nil-safe like every obs handle.
+type Progress struct {
+	total, done, cached, ran, failed atomic.Int64
+	startNanos                       int64
+}
+
+// NewProgress returns a tracker expecting total completions, with the
+// clock started now.
+func NewProgress(total int) *Progress {
+	p := &Progress{startNanos: time.Now().UnixNano()}
+	p.total.Store(int64(total))
+	return p
+}
+
+// Observe records one scenario completion; no-op on nil.
+func (p *Progress) Observe(cached, failed bool) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	switch {
+	case failed:
+		p.failed.Add(1)
+	case cached:
+		p.cached.Add(1)
+	default:
+		p.ran.Add(1)
+	}
+}
+
+// ProgressSnapshot is the JSON shape served at /progress.
+type ProgressSnapshot struct {
+	Total     int64 `json:"total"`
+	Done      int64 `json:"done"`
+	Cached    int64 `json:"cached"`
+	Ran       int64 `json:"ran"`
+	Failed    int64 `json:"failed"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Snapshot returns the current progress (zero value on nil).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		Total:     p.total.Load(),
+		Done:      p.done.Load(),
+		Cached:    p.cached.Load(),
+		Ran:       p.ran.Load(),
+		Failed:    p.failed.Load(),
+		ElapsedMS: (time.Now().UnixNano() - p.startNanos) / int64(time.Millisecond),
+	}
+}
+
+// expvar publishes into a process-global namespace, so the registry
+// behind "telemetry" is an atomic pointer swapped per Serve rather than
+// a second Publish (which panics on duplicates).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// Server is the opt-in -telemetry introspection listener: /metrics
+// (registry snapshot JSON), /progress (live batch progress), /debug/vars
+// (expvar), and /debug/pprof. It binds its own mux, so enabling
+// telemetry never touches http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection server on addr (e.g. "localhost:6060";
+// ":0" picks a free port — read it back from Addr). progress may be
+// nil, in which case /progress serves zeros.
+func Serve(addr string, reg *Registry, progress *Progress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listener: %w", err)
+	}
+
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+	expvarReg.Store(reg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "telemetry endpoints:\n  /metrics\n  /progress\n  /debug/vars\n  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(progress.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

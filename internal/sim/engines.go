@@ -44,6 +44,7 @@ func (alg1Engine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
 		NoisyOwn:    true,
 		Workers:     cfg.Workers,
 		Shards:      cfg.Shards,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -78,6 +79,7 @@ func (tdmaEngine) Prepare(g *graph.Graph, cfg Config) (Instance, error) {
 		NoisyOwn:    true,
 		Workers:     cfg.Workers,
 		Shards:      cfg.Shards,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -102,6 +104,7 @@ func (tdmaEngine) PrepareSliced(g *graph.Graph, base Config, lanes []LaneSeeds) 
 		NoisyOwn: true,
 		Workers:  base.Workers,
 		Shards:   base.Shards,
+		Metrics:  base.Metrics,
 	}, lcs)
 	if err != nil {
 		return nil, err

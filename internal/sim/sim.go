@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/noise"
+	"repro/internal/obs"
 )
 
 // Canonical engine names. These are the values scenario specs use; the
@@ -110,6 +111,12 @@ type Config struct {
 	// Artifacts, when non-nil, shares graphs and code tables across the
 	// scenarios of a batch.
 	Artifacts *Cache
+	// Metrics, when non-nil, receives observation-only instrumentation
+	// from the engines that support it (phase timers, decode counters,
+	// noise-flip accounting). Like Workers/Shards/Artifacts it is outside
+	// the result's identity: telemetry never consumes algorithm or channel
+	// randomness, so records are byte-identical with it on or off.
+	Metrics *obs.Registry
 }
 
 // Instance is one prepared execution: an engine bound to a graph and a

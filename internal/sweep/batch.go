@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -42,6 +43,45 @@ type Options struct {
 	// is pinned byte-identical to the serial one — so this exists for
 	// conformance tests and before/after benchmarks, not correctness.
 	DisableSlicing bool
+	// Metrics, when non-nil, receives observation-only batch-scheduler
+	// instrumentation (store hits, dedup, group shapes, schedule wait)
+	// and is threaded down through ExecOptions into the engines. Like
+	// every Options knob it never changes any record.
+	Metrics *obs.Registry
+}
+
+// batchMetrics resolves the batch scheduler's handles; zero value (nil
+// registry) disables everything at one pointer check per use.
+type batchMetrics struct {
+	storeHits   *obs.Counter
+	storeMisses *obs.Counter
+	dups        *obs.Counter
+	groups      *obs.Counter
+	groupLanes  *obs.Histogram
+	peeledHits  *obs.Counter
+	scheduleT   *obs.Timer
+}
+
+func newBatchMetrics(reg *obs.Registry, artifacts *sim.Cache) batchMetrics {
+	if reg == nil {
+		return batchMetrics{}
+	}
+	// Pull-based cache counters: evaluated at snapshot time against the
+	// batch's artifact cache. Func replaces on re-registration, so each
+	// batch re-points the metrics at its own cache.
+	reg.Func("sim.cache.graph_hits", func() int64 { return artifacts.Stats().GraphHits })
+	reg.Func("sim.cache.graph_misses", func() int64 { return artifacts.Stats().GraphMisses })
+	reg.Func("sim.cache.code_hits", func() int64 { return artifacts.Stats().CodeHits })
+	reg.Func("sim.cache.code_misses", func() int64 { return artifacts.Stats().CodeMisses })
+	return batchMetrics{
+		storeHits:   reg.Counter("sweep.store.hits"),
+		storeMisses: reg.Counter("sweep.store.misses"),
+		dups:        reg.Counter("sweep.batch.dups"),
+		groups:      reg.Counter("sweep.batch.groups"),
+		groupLanes:  reg.Histogram("sweep.batch.group_lanes"),
+		peeledHits:  reg.Counter("sweep.batch.peeled_hits"),
+		scheduleT:   reg.Timer("sweep.batch.schedule_wait_nanos"),
+	}
 }
 
 // Event reports one scenario's completion to Options.Progress.
@@ -74,6 +114,13 @@ func (st Stats) String() string {
 		st.Total, st.Cached, st.Ran, st.Failed, st.Wall.Round(time.Millisecond))
 }
 
+// Summary renders a batch's Stats together with the artifact cache's
+// hit/miss counters — the end-of-run line the CLIs print so a sweep's
+// cache effectiveness is visible without enabling full telemetry.
+func Summary(st Stats, cs sim.CacheStats) string {
+	return fmt.Sprintf("%s artifacts[%s]", st, cs)
+}
+
 // Run executes scenarios through the store: cache hits are served
 // without engine work, misses are executed (at most Options.Jobs at a
 // time) and persisted. The returned slice is indexed like the input —
@@ -102,7 +149,8 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 	if artifacts == nil {
 		artifacts = sim.NewCache()
 	}
-	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts}
+	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts, Metrics: opt.Metrics}
+	bm := newBatchMetrics(opt.Metrics, artifacts)
 
 	// Duplicate specs inside one batch run once: the first index with a
 	// given hash owns execution, later ones copy its result. Hashes are
@@ -121,6 +169,7 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 		owner[hashes[i]] = i
 		order = append(order, i)
 	}
+	bm.dups.Add(int64(len(scenarios) - len(order)))
 
 	records := make([]Record, len(scenarios))
 	errs := make([]error, len(scenarios))
@@ -147,12 +196,21 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 				st.Cached++ // in-batch duplicate: no engine work either
 			}
 			if opt.Progress != nil {
-				opt.Progress(Event{Index: j, Done: done, Total: len(scenarios), Cached: wasCached || j != i, Record: rec, Err: err})
+				// An in-batch duplicate of a successful run is cached (no
+				// engine work for slot j), but a duplicate of a *failure*
+				// is just a failure — mirroring the Stats arms above.
+				opt.Progress(Event{Index: j, Done: done, Total: len(scenarios), Cached: wasCached || (j != i && err == nil), Record: rec, Err: err})
 			}
 		}
 	}
 
 	groups := sliceGroups(scenarios, order, opt.DisableSlicing)
+	bm.groups.Add(int64(len(groups)))
+	if bm.groupLanes != nil {
+		for _, g := range groups {
+			bm.groupLanes.Observe(int64(len(g)))
+		}
+	}
 	idx := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -167,9 +225,14 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 				var misses []int
 				for _, i := range group {
 					if rec, ok := store.Get(hashes[i]); ok {
+						bm.storeHits.Inc()
+						if len(group) > 1 {
+							bm.peeledHits.Inc()
+						}
 						report(i, rec, true, nil)
 						continue
 					}
+					bm.storeMisses.Inc()
 					misses = append(misses, i)
 				}
 				switch {
@@ -213,7 +276,10 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 		}()
 	}
 	for _, group := range groups {
+		// Schedule latency: how long each group waits for a free worker.
+		sp := bm.scheduleT.Start()
 		idx <- group
+		sp.Stop()
 	}
 	close(idx)
 	wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,31 @@ type ExecOptions struct {
 	// Cached artifacts are pure functions of their keys, so records are
 	// byte-identical with the cache on or off.
 	Artifacts *sim.Cache
+	// Metrics, when non-nil, receives observation-only instrumentation
+	// from the execution layers (build/run timers here, phase and decode
+	// counters in the engines). Telemetry never consumes algorithm or
+	// channel randomness, so records are byte-identical with it on or off
+	// (TestTelemetryRecordsIdentical).
+	Metrics *obs.Registry
+}
+
+// execMetrics resolves the sweep execution layer's handles; the zero
+// value (nil registry) disables everything at one pointer check per use.
+type execMetrics struct {
+	buildT *obs.Timer
+	runT   *obs.Timer
+	lanes  *obs.Histogram
+}
+
+func newExecMetrics(reg *obs.Registry) execMetrics {
+	if reg == nil {
+		return execMetrics{}
+	}
+	return execMetrics{
+		buildT: reg.Timer("sweep.exec.build_nanos"),
+		runT:   reg.Timer("sweep.exec.run_nanos"),
+		lanes:  reg.Histogram("sweep.exec.sliced_lanes"),
+	}
 }
 
 // Execute runs one scenario and returns its record. Everything in the
@@ -79,6 +105,7 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 		Workload:    wl,
 		Rounds:      sc.Rounds,
 		Artifacts:   opt.Artifacts,
+		Metrics:     opt.Metrics,
 	})
 	if err != nil {
 		return Record{}, err
@@ -88,6 +115,8 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	// so WallNanos measures the engine run alone and artifact-cache
 	// hits (graphs and code tables) show up as collapsed build times.
 	rec.BuildNanos = time.Since(buildStart).Nanoseconds()
+	em := newExecMetrics(opt.Metrics)
+	em.buildT.Observe(time.Duration(rec.BuildNanos))
 	start := time.Now()
 	res, extras, err := inst.Run(algs, budget)
 	if err != nil {
@@ -112,6 +141,7 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 		rec.Counters.OutputOK = &outputOK
 	}
 	rec.WallNanos = time.Since(start).Nanoseconds()
+	em.runT.Observe(time.Duration(rec.WallNanos))
 	return rec, nil
 }
 
@@ -212,17 +242,22 @@ func executeSliced(scs []Scenario, hashes []string, opt ExecOptions) ([]Record, 
 		Workload:  wl,
 		Rounds:    scs[0].Rounds,
 		Artifacts: opt.Artifacts,
+		Metrics:   opt.Metrics,
 	}, lanes)
 	if err != nil {
 		return nil, err
 	}
 	buildNanos := time.Since(buildStart).Nanoseconds()
+	em := newExecMetrics(opt.Metrics)
+	em.buildT.Observe(time.Duration(buildNanos))
+	em.lanes.Observe(int64(len(scs)))
 	start := time.Now()
 	results, extras, err := inst.RunSliced(algs, budget)
 	if err != nil {
 		return nil, err
 	}
 	wallNanos := time.Since(start).Nanoseconds()
+	em.runT.Observe(time.Duration(wallNanos))
 
 	recs := make([]Record, len(scs))
 	for k, sc := range scs {

@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestTelemetryRecordsIdentical is the tentpole determinism guarantee:
+// running the pinned PR 4 grid through the batch scheduler with a live
+// metrics registry produces records byte-identical to the golden file
+// written with no telemetry at all. Instrumentation observes — it never
+// consumes randomness or branches on channel data.
+func TestTelemetryRecordsIdentical(t *testing.T) {
+	golden := readGolden(t)
+	scs, err := pr4Grid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	recs, st, err := Run(scs, NewMemStore(), Options{Jobs: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ran != len(scs) || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	byHash := make(map[string][]byte, len(recs))
+	for _, rec := range recs {
+		byHash[rec.Hash] = encodeZeroed(t, rec)
+	}
+	for i, want := range golden {
+		rec, err := DecodeRecord(want)
+		if err != nil {
+			t.Fatalf("golden line %d: %v", i, err)
+		}
+		got, ok := byHash[rec.Hash]
+		if !ok {
+			t.Fatalf("golden record %s not produced with telemetry on", rec.Hash)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("record %s differs from PR 4 golden with telemetry on:\n got %s\nwant %s", rec.Hash, got, want)
+		}
+	}
+
+	// The registry must actually have observed the run: engine-phase
+	// counters, exec timers, and batch counters are all live.
+	want := map[string]bool{
+		"core.rounds.sim":       false,
+		"tdma.rounds.sim":       false,
+		"sweep.exec.run_nanos":  false,
+		"sweep.store.misses":    false,
+		"sim.cache.graph_hits":  false,
+		"noise.flips.symmetric": false,
+	}
+	for _, m := range reg.Snapshot() {
+		if _, ok := want[m.Name]; ok && (m.Value > 0 || m.Count > 0) {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric %q not observed during the telemetry-on run", name)
+		}
+	}
+}
+
+// TestBatchDoneMonotonic: progress events arrive serialized with Done
+// counting 1..Total in callback order, under concurrency.
+func TestBatchDoneMonotonic(t *testing.T) {
+	scs, err := tinyGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var dones []int
+	_, _, err = Run(scs, NewMemStore(), Options{
+		Jobs: 4,
+		Progress: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			dones = append(dones, ev.Done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != len(scs) {
+		t.Fatalf("got %d events for %d scenarios", len(dones), len(scs))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("event %d has Done=%d, want %d (monotonic completion count)", i, d, i+1)
+		}
+	}
+}
+
+// TestBatchDuplicateFailureEvents pins the dup/error interaction: a
+// duplicated failing spec fails every slot, and no slot is reported
+// Cached — an in-batch duplicate of a failure did not save engine work
+// in any meaningful sense and must not masquerade as a cache hit.
+func TestBatchDuplicateFailureEvents(t *testing.T) {
+	bad := baseSpec()
+	bad.Family = "no-such-family"
+	good := baseSpec()
+	var mu sync.Mutex
+	events := make(map[int]Event)
+	recs, st, err := Run([]Scenario{bad, good, bad}, NewMemStore(), Options{
+		Jobs: 1,
+		Progress: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			events[ev.Index] = ev
+		},
+	})
+	if err == nil {
+		t.Fatal("expected an error for the invalid scenario")
+	}
+	if st.Failed != 2 || st.Ran != 1 || st.Cached != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	for _, i := range []int{0, 2} {
+		ev, ok := events[i]
+		if !ok {
+			t.Fatalf("no event for failing slot %d", i)
+		}
+		if ev.Err == nil {
+			t.Errorf("slot %d event has no error", i)
+		}
+		if ev.Cached {
+			t.Errorf("slot %d (duplicate failure) reported Cached", i)
+		}
+		if recs[i].Hash != "" {
+			t.Errorf("failing slot %d has a record", i)
+		}
+	}
+	if ev := events[1]; ev.Err != nil || ev.Cached {
+		t.Errorf("good scenario event: %+v", ev)
+	}
+	// A duplicated *successful* spec still reports its copies cached.
+	var dupEv []Event
+	_, st2, err := Run([]Scenario{good, good}, NewMemStore(), Options{
+		Jobs:     1,
+		Progress: func(ev Event) { dupEv = append(dupEv, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Ran != 1 || st2.Cached != 1 {
+		t.Fatalf("dup-success stats: %+v", st2)
+	}
+	cachedCount := 0
+	for _, ev := range dupEv {
+		if ev.Cached {
+			cachedCount++
+		}
+	}
+	if cachedCount != 1 {
+		t.Fatalf("want exactly one Cached event for the duplicate slot, got %d", cachedCount)
+	}
+}
+
+// TestBatchMetricsCounts: the batch scheduler's own counters reflect
+// dedup, store traffic, and group shapes.
+func TestBatchMetricsCounts(t *testing.T) {
+	sc := baseSpec()
+	reg := obs.NewRegistry()
+	_, st, err := Run([]Scenario{sc, sc, sc}, NewMemStore(), Options{Jobs: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unique != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if got := reg.Counter("sweep.batch.dups").Value(); got != 2 {
+		t.Errorf("sweep.batch.dups = %d, want 2", got)
+	}
+	if got := reg.Counter("sweep.store.misses").Value(); got != 1 {
+		t.Errorf("sweep.store.misses = %d, want 1", got)
+	}
+	if got := reg.Counter("sweep.store.hits").Value(); got != 0 {
+		t.Errorf("sweep.store.hits = %d, want 0", got)
+	}
+	if got := reg.Counter("sweep.batch.groups").Value(); got != 1 {
+		t.Errorf("sweep.batch.groups = %d, want 1", got)
+	}
+
+	// Second run against a warm store: the unique spec is a store hit.
+	store := NewMemStore()
+	if _, _, err := Run([]Scenario{sc}, store, Options{Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewRegistry()
+	if _, _, err := Run([]Scenario{sc}, store, Options{Jobs: 1, Metrics: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("sweep.store.hits").Value(); got != 1 {
+		t.Errorf("warm-store sweep.store.hits = %d, want 1", got)
+	}
+	if got := reg2.Counter("sweep.store.misses").Value(); got != 0 {
+		t.Errorf("warm-store sweep.store.misses = %d, want 0", got)
+	}
+}
+
+// TestSummaryRendersStatsAndCache: the CLI end-of-run line carries both
+// the batch stats and the artifact-cache counters.
+func TestSummaryRendersStatsAndCache(t *testing.T) {
+	st := Stats{Total: 8, Unique: 7, Cached: 3, Ran: 4, Failed: 1, Wall: 1500 * time.Millisecond}
+	cs := sim.CacheStats{GraphHits: 5, GraphMisses: 2, CodeHits: 1, CodeMisses: 1}
+	got := Summary(st, cs)
+	for _, want := range []string{"total=8", "cached=3", "run=4", "failed=1", "graphs 5/2", "codes 1/1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Summary %q missing %q", got, want)
+		}
+	}
+}
