@@ -11,6 +11,12 @@
 //	beepsim -graph grid -n 36 -alg bfstree -model native
 //	beepsim -graph pg -q 5 -alg mis -eps 0.05 -seed 7
 //	beepsim -graph regular -n 10000 -delta 16 -alg mis -workers 0
+//	beepsim -graph regular -n 32 -delta 4 -alg leader -noise adversary:solo:128
+//
+// -noise selects a channel model by spec; hostile channels (budgeted
+// adversary strategies, duty-cycle jamming) ride the same axis as the
+// stochastic ones, and an overwhelmed protocol reports its failed
+// verification rather than hanging (the round budget stays finite).
 //
 // -workers parallelizes the per-round simulation phases on the
 // deterministic sharded pool of internal/engine (1 = serial, 0 = one
@@ -41,7 +47,7 @@ func main() {
 		algName   = flag.String("alg", "matching", "algorithm: "+strings.Join(sim.WorkloadNames(), "|"))
 		model     = flag.String("model", "beep", "execution model: native|beep")
 		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model, symmetric channel)")
-		noiseSpec = flag.String("noise", "", "channel-noise model spec ("+strings.Join(noise.Names(), ", ")+"); empty = symmetric ε channel, e.g. gilbert-elliott:0.01:0.3:0.05:0.25")
+		noiseSpec = flag.String("noise", "", "channel-noise model spec ("+strings.Join(noise.Names(), ", ")+"); empty = symmetric ε channel, e.g. gilbert-elliott:0.01:0.3:0.05:0.25 or adversary:solo:128")
 		rounds    = flag.Int("rounds", 3, "round count for rounds-parameterized algorithms (gossip)")
 		seed      = flag.Uint64("seed", 1, "seed")
 		workers   = flag.Int("workers", 1, "simulation workers: 1 = serial, 0 = one per CPU")

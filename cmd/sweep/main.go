@@ -27,6 +27,27 @@
 // parameters, so the ε axis collapses under them (and under the native
 // engines); Expand deduplicates the collapsed grid points.
 //
+// Hostile channels ride the same axis: adversary:strategy:budget[:args]
+// (strategies random, solo, phase, hub) and jam:duty:period. With
+// -frontier the budget becomes a search axis instead of a grid point:
+// each expanded scenario's budget is the ceiling, and the minimal
+// budget that breaks the protocol is found by bisection
+// (sweep.FrontierSearch), every probe an ordinary content-hashed
+// scenario served through the store — a warm store resumes the search
+// with zero re-simulation. Example:
+//
+//	sweep -frontier -family regular -n 32 -delta 4 \
+//	      -noise adversary:solo:32768 -engine alg1,tdma \
+//	      -workload leader -store frontier.jsonl
+//
+// prints a per-protocol frontier table (breaking budget -1 = unbroken
+// up to the ceiling). -maxroundsfactor caps every run's round budget at
+// the given multiple of the workload budget, recording a typed
+// budget-exhausted failure instead of running unbounded; unlike every
+// other flag it changes records, so hold it constant per store. -strict
+// exits non-zero when any record carries a failure or failed output
+// verification, so CI grids fail loudly instead of via grep.
+//
 // The final stderr line reports cache effectiveness — batch stats plus
 // the artifact cache's hit/miss counters, e.g.
 // "sweep: total=48 cached=48 run=0 failed=0 wall=12ms artifacts[graphs
@@ -44,6 +65,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +73,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/engine"
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -63,7 +86,7 @@ func main() {
 		ns         = flag.String("n", "64", "comma-separated node counts (ignored by families that derive n)")
 		deltas     = flag.String("delta", "4", "comma-separated family parameters (Δ; q for pg, side for grid, dim for hypercube)")
 		epss       = flag.String("eps", "0.05", "comma-separated channel noise rates (symmetric channel)")
-		noises     = flag.String("noise", "", "comma-separated channel-noise models ("+strings.Join(noise.Names(), ", ")+"); empty/symmetric uses -eps, e.g. asymmetric:p01:p10, erasure:q:readAs, gilbert-elliott:pGood:pBad:pGB:pBG")
+		noises     = flag.String("noise", "", "comma-separated channel-noise models ("+strings.Join(noise.Names(), ", ")+"); empty/symmetric uses -eps, e.g. asymmetric:p01:p10, erasure:q:readAs, gilbert-elliott:pGood:pBad:pGB:pBG, adversary:strategy:budget[:args], jam:duty:period")
 		engines    = flag.String("engine", "alg1", "comma-separated engines ("+strings.Join(sim.EngineNames(), ", ")+")")
 		workloads  = flag.String("workload", "gossip", "comma-separated workloads ("+strings.Join(sim.WorkloadNames(), ", ")+")")
 		rounds     = flag.Int("rounds", 3, "gossip rounds per scenario")
@@ -78,6 +101,9 @@ func main() {
 		verbose    = flag.Bool("v", false, "stream per-scenario progress to stderr")
 		metrics    = flag.Bool("metrics", false, "collect telemetry and print a metrics table to stderr (with -store, also write <store>.telemetry.jsonl)")
 		telemetry  = flag.String("telemetry", "", "serve live introspection (metrics, progress, pprof) on ADDR for the run's duration; implies -metrics collection")
+		frontier   = flag.Bool("frontier", false, "resilience-frontier mode: treat each scenario's adversary budget as a ceiling and bisect for the minimal breaking budget")
+		strict     = flag.Bool("strict", false, "exit non-zero when any record has a failure or output_ok=false")
+		maxRF      = flag.Float64("maxroundsfactor", 0, "cap engine round budgets at this multiple of the workload budget (0 = uncapped); changes records — hold constant per store")
 	)
 	flag.Parse()
 
@@ -102,9 +128,27 @@ func main() {
 		fatal(err)
 	}
 
-	if err := run(grid, *storePath, *jobs, *workers, *shards, !*noAgg, *verbose, *metrics, *telemetry); err != nil {
+	cfg := cliConfig{
+		storePath: *storePath,
+		jobs:      *jobs, workers: *workers, shards: *shards,
+		agg: !*noAgg, verbose: *verbose, metrics: *metrics,
+		telemetry: *telemetry,
+		frontier:  *frontier, strict: *strict, maxRoundsFactor: *maxRF,
+	}
+	if err := run(grid, cfg); err != nil {
 		fatal(err)
 	}
+}
+
+// cliConfig carries the non-grid flags (everything that is not a
+// scenario axis) through the run.
+type cliConfig struct {
+	storePath             string
+	jobs, workers, shards int
+	agg, verbose, metrics bool
+	telemetry             string
+	frontier, strict      bool
+	maxRoundsFactor       float64
 }
 
 // telemetryPath is the JSONL telemetry artifact written beside the
@@ -113,33 +157,37 @@ func telemetryPath(storePath string) string {
 	return strings.TrimSuffix(storePath, ".jsonl") + ".telemetry.jsonl"
 }
 
-func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verbose, metrics bool, telemetry string) error {
+func run(grid sweep.Grid, cfg cliConfig) error {
 	scenarios, err := grid.Expand()
 	if err != nil {
 		return err
 	}
 
 	store := sweep.NewMemStore()
-	if storePath != "" {
-		if store, err = sweep.Open(storePath); err != nil {
+	if cfg.storePath != "" {
+		if store, err = sweep.Open(cfg.storePath); err != nil {
 			return err
 		}
 		defer store.Close()
 		if d := store.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "sweep: store %s: dropped %d invalid line(s)\n", storePath, d)
+			fmt.Fprintf(os.Stderr, "sweep: store %s: dropped %d invalid line(s)\n", cfg.storePath, d)
 		}
 	}
 
+	if cfg.frontier {
+		return runFrontier(scenarios, store, cfg)
+	}
+
 	artifacts := sim.NewCache()
-	opt := sweep.Options{Jobs: jobs, Workers: workers, Shards: shards, Artifacts: artifacts}
+	opt := sweep.Options{Jobs: cfg.jobs, Workers: cfg.workers, Shards: cfg.shards, Artifacts: artifacts, MaxRoundsFactor: cfg.maxRoundsFactor}
 	var reg *obs.Registry
-	if metrics || telemetry != "" {
+	if cfg.metrics || cfg.telemetry != "" {
 		reg = obs.NewRegistry()
 		opt.Metrics = reg
 	}
 	progress := obs.NewProgress(len(scenarios))
-	if telemetry != "" {
-		srv, err := obs.Serve(telemetry, reg, progress)
+	if cfg.telemetry != "" {
+		srv, err := obs.Serve(cfg.telemetry, reg, progress)
 		if err != nil {
 			return err
 		}
@@ -148,7 +196,7 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 	}
 	opt.Progress = func(ev sweep.Event) {
 		progress.Observe(ev.Cached, ev.Err != nil)
-		if !verbose {
+		if !cfg.verbose {
 			return
 		}
 		status := "ran"
@@ -171,12 +219,12 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 		if err := obs.WriteSummary(os.Stderr, reg); err != nil {
 			return err
 		}
-		if storePath != "" {
-			f, err := os.Create(telemetryPath(storePath))
+		if cfg.storePath != "" {
+			f, err := os.Create(telemetryPath(cfg.storePath))
 			if err != nil {
 				return err
 			}
-			meta := map[string]any{"store": storePath, "stats": stats.String(), "progress": progress.Snapshot()}
+			meta := map[string]any{"store": cfg.storePath, "stats": stats.String(), "progress": progress.Snapshot()}
 			if werr := obs.WriteJSONL(f, meta, reg); werr == nil {
 				werr = f.Close()
 				if werr != nil {
@@ -186,11 +234,11 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 				f.Close()
 				return werr
 			}
-			fmt.Fprintf(os.Stderr, "sweep: telemetry written to %s\n", telemetryPath(storePath))
+			fmt.Fprintf(os.Stderr, "sweep: telemetry written to %s\n", telemetryPath(cfg.storePath))
 		}
 	}
 
-	if agg {
+	if cfg.agg {
 		var ok []sweep.Record
 		for _, r := range records {
 			if r.Hash != "" {
@@ -199,7 +247,93 @@ func run(grid sweep.Grid, storePath string, jobs, workers, shards int, agg, verb
 		}
 		printAggregate(os.Stdout, sweep.Aggregate(ok))
 	}
+	if cfg.strict {
+		if err := strictErr(records); err != nil {
+			runErr = errors.Join(runErr, err)
+		}
+	}
 	return runErr
+}
+
+// strictErr scans a batch's records for the -strict failure conditions:
+// a recorded protocol failure, or output verification returning false.
+func strictErr(records []sweep.Record) error {
+	var failures []error
+	for _, r := range records {
+		if r.Hash == "" {
+			continue // scenario error, already in runErr
+		}
+		if r.Broken() {
+			failures = append(failures, fmt.Errorf("strict: %s: %w", r.Hash, r.BrokenError()))
+			continue
+		}
+		if r.Counters.OutputOK != nil && !*r.Counters.OutputOK {
+			failures = append(failures, fmt.Errorf("strict: %s: output verification failed", r.Hash))
+		}
+	}
+	return errors.Join(failures...)
+}
+
+// runFrontier is the -frontier mode: every expanded scenario's
+// adversary budget is a ceiling; bisect for the minimal breaking
+// budget, all probes served through the store.
+func runFrontier(scenarios []sweep.Scenario, store *sweep.Store, cfg cliConfig) error {
+	// Frontier probes run one at a time, so each gets the whole machine
+	// (mirroring the batch scheduler's jobs=1 behavior).
+	workers := cfg.workers
+	if workers == 0 {
+		workers = engine.AutoWorkers
+	}
+	opt := sweep.FrontierOptions{
+		Exec: sweep.ExecOptions{
+			Workers:         workers,
+			Shards:          cfg.shards,
+			Artifacts:       sim.NewCache(),
+			MaxRoundsFactor: cfg.maxRoundsFactor,
+		},
+	}
+	if cfg.verbose {
+		opt.Progress = func(p sweep.FrontierProbe) {
+			status := "ran"
+			if p.Cached {
+				status = "cached"
+			}
+			outcome := "ok"
+			if p.Broken {
+				outcome = "BROKEN"
+			}
+			fmt.Fprintf(os.Stderr, "frontier: scenario %d budget %d: %s (%s)\n", p.Scenario, p.Budget, outcome, status)
+		}
+	}
+	results, err := sweep.FrontierSearch(scenarios, store, opt)
+	var probes, cached, ran int
+	for _, r := range results {
+		probes += r.Probes
+		cached += r.Cached
+		ran += r.Ran
+	}
+	fmt.Fprintf(os.Stderr, "sweep: frontier: scenarios=%d probes=%d cached=%d ran=%d\n",
+		len(results), probes, cached, ran)
+	printFrontier(os.Stdout, results)
+	// -strict adds nothing here: broken probes are the point of the
+	// search, and a search error already fails the run below.
+	return err
+}
+
+func printFrontier(w *os.File, results []sweep.FrontierResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tengine\tfamily\tn\tparam\tstrategy\tmax_budget\tbreaking\tprobes\tcached\tran")
+	for _, r := range results {
+		sc := r.Scenario
+		breaking := strconv.Itoa(r.Breaking)
+		if r.Unbroken() {
+			breaking = "-1" // unbroken up to the ceiling
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%s\t%d\t%s\t%d\t%d\t%d\n",
+			sc.Workload, sc.Engine, sc.Family, sc.N, sc.Param,
+			r.Strategy, r.MaxBudget, breaking, r.Probes, r.Cached, r.Ran)
+	}
+	tw.Flush()
 }
 
 func printAggregate(w *os.File, groups []sweep.Group) {

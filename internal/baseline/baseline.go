@@ -19,7 +19,6 @@ package baseline
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/beep"
 	"repro/internal/bitstring"
@@ -136,10 +135,11 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 		if model, err = noise.Parse(cfg.Noise); err != nil {
 			return nil, fmt.Errorf("baseline: %w", err)
 		}
-		p01, p10 := model.FlipRates()
-		calibEps = math.Max(p01, p10)
+		// Hostile models calibrate against their worst-case per-window
+		// rate; stochastic ones against the worst marginal flip rate.
+		calibEps = noise.CalibrationRate(model)
 		if calibEps >= 0.5 {
-			return nil, fmt.Errorf("baseline: channel %s: marginal flip rate %v outside [0, 0.5)", cfg.Noise, calibEps)
+			return nil, fmt.Errorf("baseline: channel %s: calibration rate %v outside [0, 0.5)", cfg.Noise, calibEps)
 		}
 	}
 	if cfg.Rho == 0 {

@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 
 	"repro/internal/beep"
@@ -119,10 +118,11 @@ func NewSlicedRunner(g *graph.Graph, cfg Config, lanes []LaneConfig) (*SlicedRun
 		if model, err = noise.Parse(cfg.Noise); err != nil {
 			return nil, fmt.Errorf("baseline: %w", err)
 		}
-		p01, p10 := model.FlipRates()
-		calibEps = math.Max(p01, p10)
+		// Hostile models calibrate against their worst-case per-window
+		// rate; stochastic ones against the worst marginal flip rate.
+		calibEps = noise.CalibrationRate(model)
 		if calibEps >= 0.5 {
-			return nil, fmt.Errorf("baseline: channel %s: marginal flip rate %v outside [0, 0.5)", cfg.Noise, calibEps)
+			return nil, fmt.Errorf("baseline: channel %s: calibration rate %v outside [0, 0.5)", cfg.Noise, calibEps)
 		}
 	} else {
 		if cfg.Epsilon < 0 || cfg.Epsilon >= 0.5 {
@@ -139,6 +139,15 @@ func NewSlicedRunner(g *graph.Graph, cfg Config, lanes []LaneConfig) (*SlicedRun
 	seeds := make([]uint64, len(lanes))
 	for k, lc := range lanes {
 		seeds[k] = lc.ChannelSeed
+	}
+	// Topology-aware models bind here exactly as beep.NewNetwork binds for
+	// flat runs, so a lane's receptions match its lane-serial twin.
+	if tb, ok := model.(noise.TopologyBinder); ok {
+		deg := make([]int, g.N())
+		for v := range deg {
+			deg[v] = g.Degree(v)
+		}
+		model = tb.BindTopology(deg, g.MaxDegree())
 	}
 	channel, err := beep.NewSlicedChannel(model, seeds, g.N())
 	if err != nil {
@@ -205,6 +214,12 @@ func NewSlicedRunner(g *graph.Graph, cfg Config, lanes []LaneConfig) (*SlicedRun
 		// flips land in the per-model counter, byte-identically (see
 		// beep.SlicedChannel.CountFlips).
 		channel.CountFlips(reg.Counter("noise.flips." + model.Name()))
+		if model.Name() == noise.NameAdversary {
+			// Budget accounting: a second wrap counts the same flips into
+			// the spent counter (each adversarial flip costs one budget
+			// unit, per lane).
+			channel.CountFlips(reg.Counter("noise.adversary.spent"))
+		}
 	}
 	return r, nil
 }

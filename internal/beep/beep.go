@@ -123,6 +123,7 @@ type netMetrics struct {
 	windows *obs.Counter // batch windows executed (RunPhaseInto calls)
 	beeps   *obs.Counter // energy: beeps transmitted
 	flips   *obs.Counter // applied noise flips, named per model
+	spent   *obs.Counter // adversarial budget spent (noise.adversary.spent)
 	windowT *obs.Timer   // wall time per batch window
 }
 
@@ -172,6 +173,17 @@ func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
 			return nil, fmt.Errorf("beep: %w", err)
 		}
 	}
+	// Topology-aware models (the adversary's hub strategy) see the public
+	// graph structure. Binding is deterministic and identical on every
+	// execution path — the sliced runners bind the same way — so a bound
+	// model's receptions stay a pure function of (model spec, seed, node).
+	if tb, ok := model.(noise.TopologyBinder); ok {
+		deg := make([]int, g.N())
+		for v := range deg {
+			deg[v] = g.Degree(v)
+		}
+		model = tb.BindTopology(deg, g.MaxDegree())
+	}
 	nw := &Network{
 		g:      g,
 		params: params,
@@ -187,6 +199,12 @@ func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
 			beeps:   reg.Counter("beep.beeps"),
 			flips:   reg.Counter("noise.flips." + model.Name()),
 			windowT: reg.Timer("beep.window_nanos"),
+		}
+		if model.Name() == noise.NameAdversary {
+			// Budget accounting: adversarial corruptions are flips the
+			// budget paid for, surfaced separately from the per-model
+			// flip counter.
+			nw.m.spent = reg.Counter("noise.adversary.spent")
 		}
 		nw.pool.Instrument(&engine.PoolMetrics{
 			Do:    reg.Counter("pool.do"),
@@ -494,6 +512,11 @@ func (nw *Network) noiseSampler(v int) noise.Sampler {
 		// Accountant interface would not be a nil interface.
 		if nw.m.flips != nil {
 			s = noise.Counting(s, nw.m.flips)
+		}
+		if nw.m.spent != nil {
+			// Every adversarial flip is a unit of budget spent, so a second
+			// counting wrapper is exact budget accounting.
+			s = noise.Counting(s, nw.m.spent)
 		}
 		nw.noise[v] = s
 	}

@@ -69,6 +69,42 @@ func TestDefaultParamsNoise(t *testing.T) {
 	}
 }
 
+// TestDefaultParamsHostile: hostile channels calibrate against their
+// worst-case per-window rate, not their (meaningless) marginal rates —
+// the adversary's design rate sits in the ε<0.2 band whatever the
+// budget, and a jammer calibrates at its duty fraction.
+func TestDefaultParamsHostile(t *testing.T) {
+	adv, err := DefaultParamsNoise(64, 4, 12, 0, "adversary:solo:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultParams(64, 4, 12, 0.15).R; adv.R != want {
+		t.Errorf("adversary R = %d, want worst-case-calibrated %d", adv.R, want)
+	}
+	if adv.Noise != "adversary:solo:1000" {
+		t.Errorf("spec not canonical: %q", adv.Noise)
+	}
+	if err := adv.Validate(64, 4); err != nil {
+		t.Errorf("derived params invalid: %v", err)
+	}
+	// θ provisions for worst-case suppression, not the zero marginal.
+	noiseless := adv
+	noiseless.Noise = ""
+	noiseless.Epsilon = 0
+	if adv.MembershipThreshold() <= noiseless.MembershipThreshold() {
+		t.Errorf("adversarial θ = %d not above noiseless θ = %d",
+			adv.MembershipThreshold(), noiseless.MembershipThreshold())
+	}
+
+	jam, err := DefaultParamsNoise(64, 4, 12, 0, "jam:1:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultParams(64, 4, 12, 0.1).R; jam.R != want {
+		t.Errorf("jam R = %d, want duty-calibrated %d", jam.R, want)
+	}
+}
+
 // TestValidateNoiseSpec: Params validation rejects malformed and
 // non-canonical channel specs (the Codes cache keys on Params, so one
 // channel must have one spelling).

@@ -126,7 +126,9 @@ func DefaultParams(n, maxDeg, msgBits int, eps float64) Params {
 // DefaultParamsNoise is DefaultParams generalized to a pluggable channel
 // model: an empty spec is exactly DefaultParams(n, maxDeg, msgBits, eps);
 // a non-empty spec (internal/noise.Parse) replaces eps with the model's
-// worst marginal flip rate for the repetition-factor calibration and
+// calibration rate (worst marginal flip rate for stochastic models,
+// worst-case per-window rate for hostile ones — noise.CalibrationRate)
+// for the repetition-factor calibration and
 // rides along in Params.Noise, where the membership threshold θ and the
 // beeping channel itself consult it.
 func DefaultParamsNoise(n, maxDeg, msgBits int, eps float64, spec string) (Params, error) {
@@ -143,10 +145,14 @@ func DefaultParamsNoise(n, maxDeg, msgBits int, eps float64, spec string) (Param
 	if err != nil {
 		return Params{}, fmt.Errorf("core: %w", err)
 	}
-	p01, p10 := m.FlipRates()
-	rate := math.Max(p01, p10)
+	// Hostile (adversarial/jamming) models have no meaningful marginal
+	// rate; calibrate against their worst-case per-window rate instead.
+	// An adversary that corrupts more than that per window breaks the
+	// protocol by design (sim.ProtocolBrokenError), it does not get a
+	// larger repetition factor.
+	rate := noise.CalibrationRate(m)
 	if rate >= 0.5 {
-		return Params{}, fmt.Errorf("core: channel %s: marginal flip rate %v outside [0, 0.5)", m.Spec(), rate)
+		return Params{}, fmt.Errorf("core: channel %s: calibration rate %v outside [0, 0.5)", m.Spec(), rate)
 	}
 	p := DefaultParams(n, maxDeg, msgBits, rate)
 	p.Noise = m.Spec() // canonical spelling, whatever the caller wrote
@@ -178,9 +184,8 @@ func (p Params) Validate(n, maxDeg int) error {
 		if spec := m.Spec(); spec != p.Noise {
 			return fmt.Errorf("core: noise spec %q is not canonical (want %q)", p.Noise, spec)
 		}
-		p01, p10 := m.FlipRates()
-		if r := math.Max(p01, p10); r >= 0.5 {
-			return fmt.Errorf("core: channel %s: marginal flip rate %v outside [0, 0.5)", p.Noise, r)
+		if r := noise.CalibrationRate(m); r >= 0.5 {
+			return fmt.Errorf("core: channel %s: calibration rate %v outside [0, 0.5)", p.Noise, r)
 		}
 	}
 	switch p.Assignment {
@@ -225,8 +230,14 @@ func (p Params) MembershipThreshold() int {
 	eps := p.Epsilon
 	if p.Noise != "" {
 		if m, err := noise.Parse(p.Noise); err == nil {
-			_, p10 := m.FlipRates()
-			eps = p10
+			if noise.Hostile(m) {
+				// A hostile channel suppresses beeps at up to its
+				// worst-case rate within a window; provision θ for it.
+				eps = noise.CalibrationRate(m)
+			} else {
+				_, p10 := m.FlipRates()
+				eps = p10
+			}
 		}
 	}
 	return int((2*eps + 1) / 4 * float64(p.W()))

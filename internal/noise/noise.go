@@ -121,19 +121,40 @@ func Noiseless(m Model) bool { return m.Noiseless() }
 
 // --- registry and spec parsing ---
 
-// parser builds a model from the colon-separated numeric arguments of a
-// spec string; arity is checked by the parser itself.
-type parser func(args []float64) (Model, error)
+// parser builds a model from the raw colon-separated arguments of a
+// spec string; arity and argument syntax are checked by the parser
+// itself. Most models take purely numeric arguments and register
+// through Register's float-converting wrapper; models with symbolic
+// arguments (the adversary's strategy name) register raw via
+// RegisterSpec.
+type parser func(args []string) (Model, error)
 
 var (
 	regMu   sync.RWMutex
 	parsers = map[string]parser{}
 )
 
-// Register adds a model parser under name. Like the sim registries it
-// panics on duplicates: registration is an init-time, programmer-
-// controlled act.
-func Register(name string, p parser) {
+// Register adds a numeric-argument model parser under name: every spec
+// argument is converted to float64 before p runs, matching the historic
+// parser contract.
+func Register(name string, p func(args []float64) (Model, error)) {
+	RegisterSpec(name, func(args []string) (Model, error) {
+		fargs := make([]float64, 0, len(args))
+		for _, a := range args {
+			v, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				return nil, fmt.Errorf("noise: model %q: bad parameter %q", name, a)
+			}
+			fargs = append(fargs, v)
+		}
+		return p(fargs)
+	})
+}
+
+// RegisterSpec adds a raw-argument model parser under name. Like the
+// sim registries it panics on duplicates: registration is an init-time,
+// programmer-controlled act.
+func RegisterSpec(name string, p parser) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := parsers[name]; dup {
@@ -166,24 +187,24 @@ func Parse(spec string) (Model, error) {
 	p, ok := parsers[name]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("noise: unknown model %q (have %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("noise: unknown model %q in spec %q (registered: %s)", name, spec, strings.Join(Names(), ", "))
 	}
-	args := make([]float64, 0, len(parts)-1)
-	for _, a := range parts[1:] {
-		v, err := strconv.ParseFloat(a, 64)
-		if err != nil {
-			return nil, fmt.Errorf("noise: model %q: bad parameter %q", name, a)
-		}
-		args = append(args, v)
-	}
-	m, err := p(args)
+	m, err := p(parts[1:])
 	if err != nil {
-		return nil, err
+		return nil, specError(spec, err)
 	}
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, specError(spec, err)
 	}
 	return m, nil
+}
+
+// specError ties a parse or validation failure back to the offending
+// spec and the registry. The bare arity/range messages don't say which
+// spec produced them, and in a multi-axis grid with a dozen channel
+// specs that context is the whole diagnosis.
+func specError(spec string, err error) error {
+	return fmt.Errorf("%w (offending spec %q; registered: %s)", err, spec, strings.Join(Names(), ", "))
 }
 
 // fmtF renders a parameter with the shortest exact representation, the

@@ -67,8 +67,32 @@ func TestParseRejectsInvalid(t *testing.T) {
 	}
 }
 
+// TestParseErrorsCarrySpec pins the diagnosis contract: every parse or
+// validation failure names the offending spec and lists the registered
+// models, so a bad entry in a multi-axis grid is self-identifying.
+func TestParseErrorsCarrySpec(t *testing.T) {
+	for _, spec := range []string{
+		"unknown:0.1",        // registry miss
+		"symmetric",          // parser arity error
+		"symmetric:0.5",      // validation error
+		"adversary:warp:100", // strategy error
+	} {
+		_, err := Parse(spec)
+		if err == nil {
+			t.Fatalf("Parse(%q) accepted an invalid spec", spec)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "\""+spec+"\"") {
+			t.Errorf("Parse(%q) error omits the offending spec: %v", spec, err)
+		}
+		if !strings.Contains(msg, "registered: ") || !strings.Contains(msg, NameSymmetric) {
+			t.Errorf("Parse(%q) error omits the registered model names: %v", spec, err)
+		}
+	}
+}
+
 func TestNames(t *testing.T) {
-	want := []string{NameAsymmetric, NameErasure, NameGilbertElliott, NameSymmetric}
+	want := []string{NameAdversary, NameAsymmetric, NameErasure, NameGilbertElliott, NameJam, NameSymmetric}
 	got := Names()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -231,6 +231,26 @@ func (e *OutputTypeError) Error() string {
 	return fmt.Sprintf("sim: workload %q: node %d output is %T, want %s", e.Workload, e.Node, e.Got, e.Want)
 }
 
+// ProtocolBrokenError reports that a hostile channel (adversarial or
+// jamming, noise.Hostile) exceeded what the protocol's calibration
+// absorbs: the run terminated — never hung, never panicked — but its
+// output failed verification or its round budget ran out. The failure
+// is attributed to the channel, not the algorithm; frontier searches
+// treat it as "this budget breaks this protocol".
+type ProtocolBrokenError struct {
+	// Workload and Engine name the broken scenario's protocol; Noise is
+	// the hostile channel's canonical spec; Reason says how the break
+	// surfaced (verification failure, round-budget exhaustion).
+	Workload string
+	Engine   string
+	Noise    string
+	Reason   string
+}
+
+func (e *ProtocolBrokenError) Error() string {
+	return fmt.Sprintf("sim: protocol broken: workload %q on engine %q under channel %s: %s", e.Workload, e.Engine, e.Noise, e.Reason)
+}
+
 // --- registries ---
 
 var (

@@ -48,6 +48,10 @@ type Options struct {
 	// and is threaded down through ExecOptions into the engines. Like
 	// every Options knob it never changes any record.
 	Metrics *obs.Registry
+	// MaxRoundsFactor forwards the round-budget guard to ExecOptions.
+	// Unlike the other knobs it can change records (it bounds the run);
+	// hold it constant across every run feeding one store.
+	MaxRoundsFactor float64
 }
 
 // batchMetrics resolves the batch scheduler's handles; zero value (nil
@@ -149,7 +153,7 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 	if artifacts == nil {
 		artifacts = sim.NewCache()
 	}
-	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts, Metrics: opt.Metrics}
+	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts, Metrics: opt.Metrics, MaxRoundsFactor: opt.MaxRoundsFactor}
 	bm := newBatchMetrics(opt.Metrics, artifacts)
 
 	// Duplicate specs inside one batch run once: the first index with a

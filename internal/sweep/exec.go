@@ -3,9 +3,11 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -32,6 +34,16 @@ type ExecOptions struct {
 	// channel randomness, so records are byte-identical with it on or off
 	// (TestTelemetryRecordsIdentical).
 	Metrics *obs.Registry
+	// MaxRoundsFactor, when positive, caps the engine round budget at
+	// ⌈factor · workload budget⌉: the guard that keeps a jammed or
+	// broken protocol from running unbounded. A tripped cap records a
+	// typed budget-exhausted Failure instead of hanging. This is the one
+	// knob in ExecOptions that CAN change a record (it bounds the run
+	// itself), which is why it is a guard, not a tuning parameter: hold
+	// it constant across every run feeding one store, exactly like a
+	// spec axis. Zero (the default) preserves the workload budget and
+	// the historic records byte for byte.
+	MaxRoundsFactor float64
 }
 
 // execMetrics resolves the sweep execution layer's handles; the zero
@@ -88,7 +100,7 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	if msgBits == 0 {
 		msgBits = wl.MsgBits(g)
 	}
-	budget := wl.Budget(g, sc.Rounds)
+	budget, capped := capBudget(wl.Budget(g, sc.Rounds), opt.MaxRoundsFactor)
 	var algs []congest.BroadcastAlgorithm
 	if eng.DrivesAlgs() {
 		algs = wl.Algs(g, sc.Rounds)
@@ -132,7 +144,8 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	// Workloads without a validity notion (ErrUnverified) leave it nil;
 	// a type mismatch is a wiring bug and fails the scenario with a
 	// typed error rather than crashing the batch worker.
-	if verr := wl.Verify(g, res.Outputs); !errors.Is(verr, sim.ErrUnverified) {
+	verr := wl.Verify(g, res.Outputs)
+	if !errors.Is(verr, sim.ErrUnverified) {
 		var typeErr *sim.OutputTypeError
 		if errors.As(verr, &typeErr) {
 			return Record{}, fmt.Errorf("sweep: %s: %w", sc.Hash(), typeErr)
@@ -140,9 +153,61 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 		outputOK := rec.Counters.AllDone && verr == nil
 		rec.Counters.OutputOK = &outputOK
 	}
+	rec.Failure = failureFor(sc, rec.Counters, verr, capped, budget)
 	rec.WallNanos = time.Since(start).Nanoseconds()
 	em.runT.Observe(time.Duration(rec.WallNanos))
 	return rec, nil
+}
+
+// capBudget applies the MaxRoundsFactor guard to a workload budget,
+// reporting whether the cap is the binding constraint.
+func capBudget(budget int, factor float64) (int, bool) {
+	if factor <= 0 {
+		return budget, false
+	}
+	c := int(math.Ceil(factor * float64(budget)))
+	if c < 1 {
+		c = 1
+	}
+	if c >= budget {
+		return budget, false
+	}
+	return c, true
+}
+
+// hostileChannel reports whether the scenario runs under a hostile
+// (adversarial or jamming) channel model; failures are then attributed
+// to the channel rather than the algorithm.
+func hostileChannel(sc Scenario) bool {
+	if sc.Noise == "" {
+		return false
+	}
+	m, err := noise.Parse(sc.Noise)
+	return err == nil && noise.Hostile(m)
+}
+
+// failureFor distills a completed run into the Record's Failure reason:
+// empty for a healthy run; the budget-guard trip for any channel; and,
+// under a hostile channel only, unfinished nodes or failed output
+// verification — the graceful-degradation contract (a broken protocol
+// terminates with a typed failure, it never hangs or panics).
+func failureFor(sc Scenario, c Counters, verr error, capped bool, budget int) string {
+	if capped && !c.AllDone {
+		return fmt.Sprintf("round budget exhausted: MaxRoundsFactor cap of %d beep rounds hit with unfinished nodes", budget)
+	}
+	if !hostileChannel(sc) {
+		return ""
+	}
+	if !c.AllDone {
+		return "terminated with unfinished nodes under the hostile channel"
+	}
+	if c.OutputOK != nil && !*c.OutputOK {
+		if verr != nil && !errors.Is(verr, sim.ErrUnverified) {
+			return "output verification failed: " + verr.Error()
+		}
+		return "output verification failed"
+	}
+	return ""
 }
 
 // sliceKey is the grouping identity of replicate-sliced execution: two
@@ -226,7 +291,7 @@ func executeSliced(scs []Scenario, hashes []string, opt ExecOptions) ([]Record, 
 	if msgBits == 0 {
 		msgBits = wl.MsgBits(g)
 	}
-	budget := wl.Budget(g, scs[0].Rounds)
+	budget, capped := capBudget(wl.Budget(g, scs[0].Rounds), opt.MaxRoundsFactor)
 	lanes := make([]sim.LaneSeeds, len(scs))
 	algs := make([][]congest.BroadcastAlgorithm, len(scs))
 	for k, sc := range scs {
@@ -280,7 +345,8 @@ func executeSliced(scs []Scenario, hashes []string, opt ExecOptions) ([]Record, 
 		rec.Colors = int(extras[k][sim.ExtraColors])
 		rec.Rho = int(extras[k][sim.ExtraRho])
 		rec.SetupRounds = int(extras[k][sim.ExtraSetupRounds])
-		if verr := wl.Verify(g, results[k].Outputs); !errors.Is(verr, sim.ErrUnverified) {
+		verr := wl.Verify(g, results[k].Outputs)
+		if !errors.Is(verr, sim.ErrUnverified) {
 			var typeErr *sim.OutputTypeError
 			if errors.As(verr, &typeErr) {
 				return nil, fmt.Errorf("sweep: %s: %w", sc.Hash(), typeErr)
@@ -288,6 +354,7 @@ func executeSliced(scs []Scenario, hashes []string, opt ExecOptions) ([]Record, 
 			outputOK := rec.Counters.AllDone && verr == nil
 			rec.Counters.OutputOK = &outputOK
 		}
+		rec.Failure = failureFor(sc, rec.Counters, verr, capped, budget)
 		recs[k] = rec
 	}
 	return recs, nil

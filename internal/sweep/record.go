@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // GraphInfo records the realized graph a scenario ran on (the spec only
@@ -58,6 +59,14 @@ type Record struct {
 	Colors      int `json:"colors,omitempty"`
 	Rho         int `json:"rho,omitempty"`
 	SetupRounds int `json:"setup_rounds,omitempty"`
+	// Failure, when non-empty, is the reason the scenario's protocol is
+	// considered broken: the round-budget guard tripped, or a hostile
+	// channel (noise.Hostile) left nodes unfinished or the output
+	// invalid. It stores the reason only; BrokenError reconstructs the
+	// typed *sim.ProtocolBrokenError. Deterministic like every spec
+	// function (MaxRoundsFactor, the guard knob, is documented as part of
+	// a store's execution contract).
+	Failure string `json:"failure,omitempty"`
 	// WallNanos is the measured wall time of the engine run alone and
 	// BuildNanos that of everything before it — graph construction,
 	// workload instances, and engine preparation (code tables, TDMA
@@ -68,6 +77,23 @@ type Record struct {
 	// aggregates' build-time column.
 	WallNanos  int64 `json:"wall_nanos"`
 	BuildNanos int64 `json:"build_nanos,omitempty"`
+}
+
+// Broken reports whether the record carries a broken-protocol failure.
+func (r Record) Broken() bool { return r.Failure != "" }
+
+// BrokenError reconstructs the typed broken-protocol error from a
+// failed record, nil otherwise.
+func (r Record) BrokenError() error {
+	if r.Failure == "" {
+		return nil
+	}
+	return &sim.ProtocolBrokenError{
+		Workload: r.Spec.Workload,
+		Engine:   r.Spec.Engine,
+		Noise:    r.Spec.Noise,
+		Reason:   r.Failure,
+	}
 }
 
 // BeepsPerSimRound is the overhead metric of Theorem 11: physical beep

@@ -70,6 +70,33 @@ func TestTelemetryRecordsIdentical(t *testing.T) {
 	}
 }
 
+// TestTelemetryAdversaryRecordsIdentical extends the PR 7 invariant to
+// budget accounting: an adversarial scenario executes byte-identically
+// with the noise.adversary.spent counter live or absent, on both the
+// native (alg1) and baseline (tdma) paths, and the counter observed
+// real spending — the Counting wrap counts, it never gates.
+func TestTelemetryAdversaryRecordsIdentical(t *testing.T) {
+	for _, eng := range []string{EngineAlg1, EngineTDMA} {
+		sc := advLeader("64")
+		sc.Engine = eng
+		off, err := Execute(sc, ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		on, err := Execute(sc, ExecOptions{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := encodeZeroed(t, on), encodeZeroed(t, off); !bytes.Equal(got, want) {
+			t.Errorf("%s: telemetry-on record differs:\n got %s\nwant %s", eng, got, want)
+		}
+		if spent := reg.Counter("noise.adversary.spent").Value(); spent <= 0 {
+			t.Errorf("%s: noise.adversary.spent = %d, want > 0", eng, spent)
+		}
+	}
+}
+
 // TestBatchDoneMonotonic: progress events arrive serialized with Done
 // counting 1..Total in callback order, under concurrency.
 func TestBatchDoneMonotonic(t *testing.T) {
