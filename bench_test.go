@@ -637,6 +637,93 @@ func BenchmarkSweepGrid64(b *testing.B) {
 	}
 }
 
+// --- Million-node sparse execution benchmarks (DESIGN.md §2.17) ---
+//
+// BenchmarkLargeSparseWave compares the dense per-round scan against the
+// sparse active-set executor on the same workload: a 16-bit wave
+// broadcast across a 1000×1000 grid (n = 10⁶, D = 1998). The two runs
+// are pinned bit-identical (see internal/beep/sparse_test.go); the
+// benchmark delta is pure executor cost. The ≥10× sparse-vs-dense
+// acceptance target for the million-node PR reads off this pair
+// (BENCH_PR9.json).
+
+const largeSide = 1000 // n = largeSide² = 10⁶
+
+var (
+	largeGridOnce sync.Once
+	largeGridG    *graph.Graph
+)
+
+// largeGridGraph lazily builds the shared 10⁶-node grid via the
+// streaming sharded builder (never materializing an edge list).
+func largeGridGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	largeGridOnce.Do(func() {
+		g, err := graph.FromRowFunc(largeSide*largeSide,
+			graph.GridRows(largeSide, largeSide),
+			graph.BuildOptions{Workers: engine.AutoWorkers})
+		if err != nil {
+			panic(err)
+		}
+		largeGridG = g
+	})
+	return largeGridG
+}
+
+func benchLargeWave(b *testing.B, sparse bool) {
+	b.Helper()
+	g := largeGridGraph(b)
+	const bits = 16
+	msg := []byte{0xA5, 0x3C}
+	dBound := 2 * (largeSide - 1) // the corner source's exact eccentricity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := beepalgs.RunWaveBroadcastOpts(g, 0, msg, bits, dBound, uint64(i),
+			beepalgs.WaveOptions{EarlyStop: true, Sparse: sparse})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !wire.Equal(out[g.N()-1], msg, bits) {
+			b.Fatalf("far corner decoded %x, want %x", out[g.N()-1], msg)
+		}
+	}
+}
+
+// BenchmarkLargeSparseWave: the n=10⁶ before/after pair. "dense" drives
+// every node every round; "sparse" tracks the wave front through the
+// active-set mask and fast-forwards quiescent spans.
+func BenchmarkLargeSparseWave(b *testing.B) {
+	b.Run("dense", func(b *testing.B) { benchLargeWave(b, false) })
+	b.Run("sparse", func(b *testing.B) { benchLargeWave(b, true) })
+}
+
+// BenchmarkLargeSparseGen measures streaming CSR generation of the same
+// 10⁶-node grid, serial vs sharded — the two-pass degree-count→fill
+// builder is byte-identical for every worker count, so the delta is
+// pure generation throughput.
+func BenchmarkLargeSparseGen(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"sharded", engine.AutoWorkers}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := graph.FromRowFunc(largeSide*largeSide,
+					graph.GridRows(largeSide, largeSide),
+					graph.BuildOptions{Workers: tc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.N() != largeSide*largeSide {
+					b.Fatal("bad graph size")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweepReplicateHeavy measures the replicate-heavy grid the
 // replicate-sliced execution path targets (BENCH_PR6.json): 4
 // hard-family axis points × 64 replicates = 256 TDMA scenarios through

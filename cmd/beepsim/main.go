@@ -12,6 +12,12 @@
 //	beepsim -graph pg -q 5 -alg mis -eps 0.05 -seed 7
 //	beepsim -graph regular -n 10000 -delta 16 -alg mis -workers 0
 //	beepsim -graph regular -n 32 -delta 4 -alg leader -noise adversary:solo:128
+//	beepsim -graph geo -n 1000000 -alg broadcast -model beepnative
+//
+// -model beepnative selects the noiseless native beeping engine for
+// workloads with a native implementation (mis, broadcast) — the
+// million-node path: sparse active-set execution over streaming sharded
+// generation (DESIGN.md §2.17).
 //
 // -noise selects a channel model by spec; hostile channels (budgeted
 // adversary strategies, duty-cycle jamming) ride the same axis as the
@@ -31,6 +37,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/congest"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/noise"
@@ -40,12 +47,12 @@ import (
 
 func main() {
 	var (
-		graphKind = flag.String("graph", "regular", "topology: regular|bounded|grid|cycle|complete|pg|hard")
+		graphKind = flag.String("graph", "regular", "topology: regular|bounded|grid|cycle|complete|pg|hard|geo")
 		n         = flag.Int("n", 64, "number of nodes (regular/bounded/cycle/complete/hard)")
 		delta     = flag.Int("delta", 8, "degree bound Δ")
 		q         = flag.Int("q", 5, "projective plane order (graph=pg)")
 		algName   = flag.String("alg", "matching", "algorithm: "+strings.Join(sim.WorkloadNames(), "|"))
-		model     = flag.String("model", "beep", "execution model: native|beep")
+		model     = flag.String("model", "beep", "execution model: native|beep|beepnative (noiseless native beeping algorithms: mis, broadcast)")
 		eps       = flag.Float64("eps", 0.1, "channel noise ε (beep model, symmetric channel)")
 		noiseSpec = flag.String("noise", "", "channel-noise model spec ("+strings.Join(noise.Names(), ", ")+"); empty = symmetric ε channel, e.g. gilbert-elliott:0.01:0.3:0.05:0.25 or adversary:solo:128")
 		rounds    = flag.Int("rounds", 3, "round count for rounds-parameterized algorithms (gossip)")
@@ -87,6 +94,8 @@ func buildGraph(kind string, n, delta, q int, seed uint64) (*graph.Graph, error)
 		return graph.ProjectivePlaneIncidence(q)
 	case "hard":
 		return graph.HardInstance(n, delta)
+	case "geo":
+		return graph.GeometricCells(n, seed, graph.BuildOptions{Workers: engine.AutoWorkers})
 	default:
 		return nil, fmt.Errorf("unknown graph kind %q", kind)
 	}
@@ -99,6 +108,8 @@ func engineName(model string) (string, error) {
 		return sim.EngineCongest, nil
 	case "beep":
 		return sim.EngineAlg1, nil
+	case "beepnative":
+		return sim.EngineBeep, nil
 	default:
 		return "", fmt.Errorf("unknown model %q", model)
 	}
@@ -162,7 +173,11 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 	if err != nil {
 		return err
 	}
-	res, extras, err := inst.Run(wl.Algs(g, rounds), budget)
+	var algs []congest.BroadcastAlgorithm
+	if eng.DrivesAlgs() {
+		algs = wl.Algs(g, rounds)
+	}
+	res, extras, err := inst.Run(algs, budget)
 	if err != nil {
 		return err
 	}
@@ -170,6 +185,9 @@ func run(graphKind string, n, delta, q int, algName, model string, eps float64, 
 	case "native":
 		fmt.Printf("native Broadcast CONGEST: %d rounds, %d messages, done=%v\n",
 			res.SimRounds, extras[sim.ExtraMessages], res.AllDone)
+	case "beepnative":
+		fmt.Printf("native beeping algorithm (noiseless): %d beep rounds, done=%v\n",
+			res.BeepRounds, res.AllDone)
 	case "beep":
 		perRound := 0
 		if res.SimRounds > 0 {

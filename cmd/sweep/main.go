@@ -82,7 +82,7 @@ import (
 
 func main() {
 	var (
-		families   = flag.String("family", "regular", "comma-separated graph families (regular, bounded, pg, grid, hypercube, hard, complete)")
+		families   = flag.String("family", "regular", "comma-separated graph families (regular, bounded, pg, grid, hypercube, hard, complete, geo)")
 		ns         = flag.String("n", "64", "comma-separated node counts (ignored by families that derive n)")
 		deltas     = flag.String("delta", "4", "comma-separated family parameters (Δ; q for pg, side for grid, dim for hypercube)")
 		epss       = flag.String("eps", "0.05", "comma-separated channel noise rates (symmetric channel)")
@@ -97,6 +97,7 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "concurrent scenarios (0 = one per CPU)")
 		workers    = flag.Int("workers", 0, "per-scenario engine workers (0 = auto: serial when jobs > 1)")
 		shards     = flag.Int("shards", 0, "engine-pool shards (0 = derived from workers)")
+		genWorkers = flag.Int("genworkers", 0, "graph-generation shards for streaming families (0/1 = serial, -1 = one per CPU); never changes records")
 		noAgg      = flag.Bool("noagg", false, "skip the aggregate table")
 		verbose    = flag.Bool("v", false, "stream per-scenario progress to stderr")
 		metrics    = flag.Bool("metrics", false, "collect telemetry and print a metrics table to stderr (with -store, also write <store>.telemetry.jsonl)")
@@ -130,7 +131,7 @@ func main() {
 
 	cfg := cliConfig{
 		storePath: *storePath,
-		jobs:      *jobs, workers: *workers, shards: *shards,
+		jobs:      *jobs, workers: *workers, shards: *shards, genWorkers: *genWorkers,
 		agg: !*noAgg, verbose: *verbose, metrics: *metrics,
 		telemetry: *telemetry,
 		frontier:  *frontier, strict: *strict, maxRoundsFactor: *maxRF,
@@ -143,12 +144,12 @@ func main() {
 // cliConfig carries the non-grid flags (everything that is not a
 // scenario axis) through the run.
 type cliConfig struct {
-	storePath             string
-	jobs, workers, shards int
-	agg, verbose, metrics bool
-	telemetry             string
-	frontier, strict      bool
-	maxRoundsFactor       float64
+	storePath                         string
+	jobs, workers, shards, genWorkers int
+	agg, verbose, metrics             bool
+	telemetry                         string
+	frontier, strict                  bool
+	maxRoundsFactor                   float64
 }
 
 // telemetryPath is the JSONL telemetry artifact written beside the
@@ -179,7 +180,7 @@ func run(grid sweep.Grid, cfg cliConfig) error {
 	}
 
 	artifacts := sim.NewCache()
-	opt := sweep.Options{Jobs: cfg.jobs, Workers: cfg.workers, Shards: cfg.shards, Artifacts: artifacts, MaxRoundsFactor: cfg.maxRoundsFactor}
+	opt := sweep.Options{Jobs: cfg.jobs, Workers: cfg.workers, Shards: cfg.shards, GenWorkers: cfg.genWorkers, Artifacts: artifacts, MaxRoundsFactor: cfg.maxRoundsFactor}
 	var reg *obs.Registry
 	if cfg.metrics || cfg.telemetry != "" {
 		reg = obs.NewRegistry()
@@ -288,6 +289,7 @@ func runFrontier(scenarios []sweep.Scenario, store *sweep.Store, cfg cliConfig) 
 		Exec: sweep.ExecOptions{
 			Workers:         workers,
 			Shards:          cfg.shards,
+			GenWorkers:      cfg.genWorkers,
 			Artifacts:       sim.NewCache(),
 			MaxRoundsFactor: cfg.maxRoundsFactor,
 		},

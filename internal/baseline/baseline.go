@@ -163,7 +163,10 @@ func NewRunner(g *graph.Graph, cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	colors := g.DistanceTwoColoring()
+	colors, err := g.DistanceTwoColoring()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: distance-2 coloring: %w", err)
+	}
 	r := &Runner{
 		g:         g,
 		cfg:       cfg,

@@ -153,7 +153,10 @@ func NewSlicedRunner(g *graph.Graph, cfg Config, lanes []LaneConfig) (*SlicedRun
 	if err != nil {
 		return nil, err
 	}
-	colors := g.DistanceTwoColoring()
+	colors, err := g.DistanceTwoColoring()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: distance-2 coloring: %w", err)
+	}
 	r := &SlicedRunner{
 		g:         g,
 		cfg:       cfg,

@@ -119,12 +119,13 @@ type Params struct {
 // netMetrics are the network's resolved telemetry handles; the zero
 // value (all nil) is the disabled state and every update no-ops.
 type netMetrics struct {
-	rounds  *obs.Counter // channel rounds advanced
-	windows *obs.Counter // batch windows executed (RunPhaseInto calls)
-	beeps   *obs.Counter // energy: beeps transmitted
-	flips   *obs.Counter // applied noise flips, named per model
-	spent   *obs.Counter // adversarial budget spent (noise.adversary.spent)
-	windowT *obs.Timer   // wall time per batch window
+	rounds   *obs.Counter // channel rounds advanced
+	windows  *obs.Counter // batch windows executed (RunPhaseInto calls)
+	beeps    *obs.Counter // energy: beeps transmitted
+	flips    *obs.Counter // applied noise flips, named per model
+	spent    *obs.Counter // adversarial budget spent (noise.adversary.spent)
+	windowT  *obs.Timer   // wall time per batch window
+	frontier *obs.Gauge   // peak driven-node count per RunSparse call
 }
 
 // Network is a beeping network over a fixed graph. It maintains a global
@@ -155,6 +156,16 @@ type Network struct {
 	phaseDst      []*bitstring.BitString
 	phaseWin      int
 	phaseFn       func(engine.Span)
+
+	// Sparse-sender gating for batch windows: when few nodes transmit,
+	// phaseHearMask marks the vertices that can possibly hear anything
+	// this window (the senders and their neighborhoods); receiveInto
+	// short-circuits every other node's row scan. Nil when the window is
+	// dense enough that the scan is cheaper than the mask. phaseSenders
+	// and phaseHear are the reusable scratch the mask is built from.
+	phaseSenders  *bitstring.BitString
+	phaseHear     *bitstring.BitString
+	phaseHearMask *bitstring.BitString
 }
 
 // NewNetwork creates a beeping network on g.
@@ -194,11 +205,12 @@ func NewNetwork(g *graph.Graph, params Params) (*Network, error) {
 	}
 	if reg := params.Metrics; reg != nil {
 		nw.m = netMetrics{
-			rounds:  reg.Counter("beep.rounds"),
-			windows: reg.Counter("beep.windows"),
-			beeps:   reg.Counter("beep.beeps"),
-			flips:   reg.Counter("noise.flips." + model.Name()),
-			windowT: reg.Timer("beep.window_nanos"),
+			rounds:   reg.Counter("beep.rounds"),
+			windows:  reg.Counter("beep.windows"),
+			beeps:    reg.Counter("beep.beeps"),
+			flips:    reg.Counter("noise.flips." + model.Name()),
+			windowT:  reg.Timer("beep.window_nanos"),
+			frontier: reg.Gauge("beep.frontier.peak"),
 		}
 		if model.Name() == noise.NameAdversary {
 			// Budget accounting: adversarial corruptions are flips the
@@ -404,13 +416,41 @@ func (nw *Network) RunPhaseInto(patterns, dst []*bitstring.BitString) error {
 	}
 
 	var beeps int64
+	senders := 0
 	for v := 0; v < n; v++ {
 		if patterns[v] != nil {
-			beeps += int64(patterns[v].Ones())
+			if ones := patterns[v].Ones(); ones > 0 {
+				beeps += int64(ones)
+				senders++
+			}
 		}
 	}
 	nw.totalBeeps += beeps
 	nw.m.beeps.Add(beeps)
+	// Sparse windows: when few nodes transmit, every node outside the
+	// senders' closed neighborhoods provably receives all-zero (before
+	// noise), so one sender-centric propagation pass over the senders'
+	// rows replaces n per-row scans. The mask only ever gates a shortcut
+	// that computes the same bits — receptions are byte-identical whether
+	// it is built or not.
+	nw.phaseHearMask = nil
+	if 4*senders <= n {
+		if nw.phaseSenders == nil {
+			nw.phaseSenders = bitstring.New(n)
+			nw.phaseHear = bitstring.New(n)
+		} else {
+			nw.phaseSenders.Reset()
+			nw.phaseHear.Reset()
+		}
+		for v := 0; v < n; v++ {
+			if patterns[v] != nil && patterns[v].Ones() > 0 {
+				nw.phaseSenders.Set(v)
+			}
+		}
+		nw.g.NeighborhoodOr(nw.phaseSenders, nw.phaseHear)
+		nw.phaseHear.OrInPlace(nw.phaseSenders)
+		nw.phaseHearMask = nw.phaseHear
+	}
 	if nw.noisy && nw.pool.Parallel() {
 		// Pre-create noise samplers (lazy creation inside the phase would
 		// be per-slot too, but keeping it here makes the invariant obvious).
@@ -474,14 +514,22 @@ func (nw *Network) phaseLength(patterns []*bitstring.BitString) (int, error) {
 // It touches only v's sampler and output buffer, so distinct nodes may
 // run concurrently.
 func (nw *Network) receiveInto(v int, patterns []*bitstring.BitString, length int, acc *bitstring.BitString) {
-	if patterns[v] != nil {
-		acc.CopyFrom(patterns[v])
-	} else {
+	if hm := nw.phaseHearMask; hm != nil && !hm.Get(v) {
+		// v is outside every sender's closed neighborhood: its pre-noise
+		// reception is all-zero by construction of the mask, so skip the
+		// row scan. Noise below still runs (and consumes the same
+		// randomness), keeping the gated path byte-identical.
 		acc.Reset()
-	}
-	for _, u := range nw.g.Row(v) {
-		if p := patterns[u]; p != nil {
-			acc.OrInPlace(p)
+	} else {
+		if patterns[v] != nil {
+			acc.CopyFrom(patterns[v])
+		} else {
+			acc.Reset()
+		}
+		for _, u := range nw.g.Row(v) {
+			if p := patterns[u]; p != nil {
+				acc.OrInPlace(p)
+			}
 		}
 	}
 	if nw.noisy {

@@ -51,7 +51,31 @@ func (tx *Transmitter) Output() any { return tx.heard }
 // Heard returns the received bits (valid after the run).
 func (tx *Transmitter) Heard() *bitstring.BitString { return tx.heard }
 
-var _ Program = (*Transmitter)(nil)
+// NextWake implements QuietProgram: a transmitter acts on its own only at
+// its pattern's beep rounds and at its final round (whose Hear marks it
+// done); everything else is reactive listening the sparse driver supplies
+// on demand.
+func (tx *Transmitter) NextWake(round int) int {
+	if tx.done {
+		return NoWake
+	}
+	if tx.Pattern != nil {
+		for r := round + 1; r < tx.Pattern.Len(); r++ {
+			if tx.Pattern.Get(r) {
+				return r
+			}
+		}
+	}
+	if last := tx.Rounds - 1; last > round {
+		return last
+	}
+	return round + 1
+}
+
+var (
+	_ Program      = (*Transmitter)(nil)
+	_ QuietProgram = (*Transmitter)(nil)
+)
 
 // AlarmFlood is the "beep wave" primitive of Ghaffari & Haeupler for the
 // noiseless model: the source beeps in its first active round; every other
@@ -104,7 +128,20 @@ func (a *AlarmFlood) Done() bool { return a.beeped }
 // Output returns the node's relay round (its wave distance), or -1.
 func (a *AlarmFlood) Output() any { return a.beepRound }
 
-var _ Program = (*AlarmFlood)(nil)
+// NextWake implements QuietProgram: the flood is purely reactive — a node
+// acts on its own only at its scheduled relay round (the source's round
+// 0); until the wave reaches it, it sleeps indefinitely.
+func (a *AlarmFlood) NextWake(round int) int {
+	if !a.beeped && a.beepRound > round {
+		return a.beepRound
+	}
+	return NoWake
+}
+
+var (
+	_ Program      = (*AlarmFlood)(nil)
+	_ QuietProgram = (*AlarmFlood)(nil)
+)
 
 // RobustFlood is a noise-tolerant wave: time is divided into frames of
 // FrameLen rounds; an active node beeps through its two following frames; an

@@ -1,0 +1,274 @@
+package beep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitstring"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// runPair executes the same program construction on two fresh networks with
+// identical parameters — once through the dense driver, once through the
+// sparse one — and returns both results plus the network counters.
+func runPair(t *testing.T, g *graph.Graph, params Params, budget int,
+	mk func() []Program) (dense, sparse *Result, denseNW, sparseNW *Network) {
+	t.Helper()
+	var err error
+	denseNW, err = NewNetwork(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseNW, err = NewNetwork(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err = denseNW.Run(mk(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err = sparseNW.RunSparse(mk(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dense, sparse, denseNW, sparseNW
+}
+
+// assertIdentical checks the full observable surface: Result shape, decoded
+// outputs, the network round counter, and the energy total.
+func assertIdentical(t *testing.T, label string, dense, sparse *Result, denseNW, sparseNW *Network) {
+	t.Helper()
+	if dense.Rounds != sparse.Rounds || dense.AllDone != sparse.AllDone {
+		t.Fatalf("%s: result shape differs: dense rounds=%d allDone=%v, sparse rounds=%d allDone=%v",
+			label, dense.Rounds, dense.AllDone, sparse.Rounds, sparse.AllDone)
+	}
+	if denseNW.Round() != sparseNW.Round() {
+		t.Fatalf("%s: network round counter differs: %d vs %d", label, denseNW.Round(), sparseNW.Round())
+	}
+	if denseNW.TotalBeeps() != sparseNW.TotalBeeps() {
+		t.Fatalf("%s: TotalBeeps differs: %d vs %d", label, denseNW.TotalBeeps(), sparseNW.TotalBeeps())
+	}
+	if len(dense.Outputs) != len(sparse.Outputs) {
+		t.Fatalf("%s: output count differs: %d vs %d", label, len(dense.Outputs), len(sparse.Outputs))
+	}
+	for v := range dense.Outputs {
+		dv, sv := dense.Outputs[v], sparse.Outputs[v]
+		if db, ok := dv.(*bitstring.BitString); ok {
+			if !db.Equal(sv.(*bitstring.BitString)) {
+				t.Fatalf("%s: node %d heard bits differ", label, v)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(dv, sv) {
+			t.Fatalf("%s: node %d output differs: %v vs %v", label, v, dv, sv)
+		}
+	}
+}
+
+// TestSparseMatchesDenseAlarmFlood pins RunSparse to the dense driver on the
+// purely reactive wave primitive across graph shapes, worker counts, and a
+// disconnected instance (which exercises the fast-forward-to-budget path
+// after the wave dies out).
+func TestSparseMatchesDenseAlarmFlood(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":     graph.Path(60),
+		"cycle":    graph.Cycle(50),
+		"star":     graph.Star(33),
+		"grid":     graph.Grid(7, 9),
+		"cube":     graph.Hypercube(6),
+		"bounded":  graph.RandomBoundedDegree(200, 6, 0.05, rng.New(11)),
+		"split":    graph.MustFromEdges(10, [][2]int{{0, 1}, {1, 2}, {2, 3}, {5, 6}, {6, 7}, {8, 9}}),
+		"isolated": graph.MustFromEdges(5, [][2]int{{0, 1}}),
+	}
+	for name, g := range graphs {
+		for _, workers := range []int{1, 4, engine.AutoWorkers} {
+			mk := func() []Program {
+				progs := make([]Program, g.N())
+				for v := range progs {
+					progs[v] = &AlarmFlood{Source: v == 0}
+				}
+				return progs
+			}
+			budget := g.N() + 2
+			dense, sparse, dnw, snw := runPair(t, g,
+				Params{Seed: 3, Workers: workers}, budget, mk)
+			assertIdentical(t, name, dense, sparse, dnw, snw)
+		}
+	}
+}
+
+// TestPropertySparseMatchesDenseTransmitters is the randomized equivalence
+// property (same idiom as TestRunSerialParallelIdentical): random bounded
+// -degree graphs, random sparse beep patterns, random pool configurations —
+// the sparse driver must reproduce the dense reception transcript bit for
+// bit, plus round and energy counters.
+func TestPropertySparseMatchesDenseTransmitters(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		n := 20 + r.Intn(130)
+		deg := 3 + r.Intn(5)
+		g := graph.RandomBoundedDegree(n, deg, 0.02+r.Float64()*0.08, r.Split(1))
+		horizon := 16 + r.Intn(48)
+		density := 0.01 + r.Float64()*0.09
+		pr := r.Split(2)
+		patterns := make([]*bitstring.BitString, n)
+		for v := range patterns {
+			if pr.Bool(0.4) {
+				continue // silent node: nil pattern
+			}
+			p := bitstring.New(horizon)
+			for i := 0; i < horizon; i++ {
+				if pr.Bool(density) {
+					p.Set(i)
+				}
+			}
+			patterns[v] = p
+		}
+		workers := []int{1, 2, 4, engine.AutoWorkers}[r.Intn(4)]
+		shards := r.Intn(20)
+		mk := func() []Program {
+			progs := make([]Program, n)
+			for v := range progs {
+				progs[v] = &Transmitter{Pattern: patterns[v], Rounds: horizon}
+			}
+			return progs
+		}
+		dense, sparse, dnw, snw := runPair(t, g,
+			Params{Seed: uint64(trial), Workers: workers, Shards: shards}, horizon+5, mk)
+		assertIdentical(t, fmt.Sprintf("trial %d", trial), dense, sparse, dnw, snw)
+		if dense.Rounds != horizon || !dense.AllDone {
+			t.Fatalf("trial %d: expected full horizon run, got rounds=%d allDone=%v",
+				trial, dense.Rounds, dense.AllDone)
+		}
+	}
+}
+
+// TestSparseTruncatedBudget checks parity when the budget cuts the run off
+// mid-wave: partial outputs, AllDone=false, and the round counters must all
+// agree.
+func TestSparseTruncatedBudget(t *testing.T) {
+	g := graph.Path(80)
+	mk := func() []Program {
+		progs := make([]Program, g.N())
+		for v := range progs {
+			progs[v] = &AlarmFlood{Source: v == 0}
+		}
+		return progs
+	}
+	for _, budget := range []int{0, 1, 10, 40} {
+		dense, sparse, dnw, snw := runPair(t, g, Params{Seed: 5}, budget, mk)
+		assertIdentical(t, "truncated", dense, sparse, dnw, snw)
+		if sparse.AllDone {
+			t.Fatalf("budget %d: path flood cannot finish early", budget)
+		}
+	}
+}
+
+// TestSparseFastForward pins the O(1) skip over globally quiet stretches: a
+// single transmitter that beeps only near the end of the horizon. The dense
+// twin grinds through every silent round; the sparse run must land on the
+// same counters and transcript regardless.
+func TestSparseFastForward(t *testing.T) {
+	g := graph.Path(100)
+	const horizon = 60
+	pattern := bitstring.New(horizon)
+	pattern.Set(50)
+	mk := func() []Program {
+		progs := make([]Program, g.N())
+		for v := range progs {
+			var p *bitstring.BitString
+			if v == 0 {
+				p = pattern
+			}
+			progs[v] = &Transmitter{Pattern: p, Rounds: horizon}
+		}
+		return progs
+	}
+	dense, sparse, dnw, snw := runPair(t, g, Params{Seed: 9}, horizon, mk)
+	assertIdentical(t, "fast-forward", dense, sparse, dnw, snw)
+	if snw.Round() != horizon {
+		t.Fatalf("round counter %d, want %d (skipped rounds must still count)", snw.Round(), horizon)
+	}
+	// Node 1 heard the lone beep, node 2 (not adjacent to the source) did not.
+	if !sparse.Outputs[1].(*bitstring.BitString).Get(50) {
+		t.Fatal("neighbor missed the beep at round 50")
+	}
+	if sparse.Outputs[2].(*bitstring.BitString).Ones() != 0 {
+		t.Fatal("non-neighbor heard a phantom beep")
+	}
+}
+
+// TestSparseFallbacks verifies the three dense-fallback triggers: a noisy
+// channel, a beep transcript request, and a program set that does not
+// implement QuietProgram. Each must behave exactly like Run (same seed ⇒
+// byte-identical, including the noise draws).
+func TestSparseFallbacks(t *testing.T) {
+	g := graph.RandomBoundedDegree(120, 5, 0.05, rng.New(42))
+	mkFlood := func() []Program {
+		progs := make([]Program, g.N())
+		for v := range progs {
+			progs[v] = &AlarmFlood{Source: v == 0}
+		}
+		return progs
+	}
+
+	t.Run("noisy", func(t *testing.T) {
+		dense, sparse, dnw, snw := runPair(t, g,
+			Params{Seed: 17, Epsilon: 0.2, NoisyOwn: true}, g.N()+2, mkFlood)
+		assertIdentical(t, "noisy", dense, sparse, dnw, snw)
+	})
+
+	t.Run("record-beeps", func(t *testing.T) {
+		dense, sparse, dnw, snw := runPair(t, g,
+			Params{Seed: 17, RecordBeeps: true}, g.N()+2, mkFlood)
+		assertIdentical(t, "record", dense, sparse, dnw, snw)
+		dh, sh := dnw.BeepHistory(), snw.BeepHistory()
+		if len(sh) == 0 || len(dh) != len(sh) {
+			t.Fatalf("history length %d vs %d (fallback must record)", len(dh), len(sh))
+		}
+		for i := range dh {
+			if !dh[i].Equal(sh[i]) {
+				t.Fatalf("beep transcript differs at round %d", i)
+			}
+		}
+	})
+
+	t.Run("non-quiet-program", func(t *testing.T) {
+		mk := func() []Program {
+			progs := make([]Program, g.N())
+			for v := range progs {
+				progs[v] = &RobustFlood{Source: v == 0, FrameLen: 8}
+			}
+			return progs
+		}
+		dense, sparse, dnw, snw := runPair(t, g, Params{Seed: 23}, 200, mk)
+		assertIdentical(t, "robust", dense, sparse, dnw, snw)
+	})
+}
+
+// TestSparseFrontierGauge checks that a sparse run reports its peak frontier
+// occupancy, and that it is genuinely sub-linear on a long path (the wave
+// front is O(1) nodes wide).
+func TestSparseFrontierGauge(t *testing.T) {
+	g := graph.Path(512)
+	reg := obs.NewRegistry()
+	nw, err := NewNetwork(g, Params{Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]Program, g.N())
+	for v := range progs {
+		progs[v] = &AlarmFlood{Source: v == 0}
+	}
+	if _, err := nw.RunSparse(progs, g.N()+2); err != nil {
+		t.Fatal(err)
+	}
+	peak := reg.Gauge("beep.frontier.peak").Value()
+	if peak < 1 || peak > 8 {
+		t.Fatalf("peak frontier %d on a path; want a handful of nodes, not Θ(n)", peak)
+	}
+}

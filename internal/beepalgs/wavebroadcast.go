@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/beep"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -31,6 +32,14 @@ type WaveBroadcast struct {
 	Bits int
 	// DBound upper-bounds the diameter (default N).
 	DBound int
+	// EarlyStop lets a node finish as soon as it can neither learn nor
+	// relay anything more: marker + 3·Bits + 1 rounds after it heard the
+	// marker (the round of its final possible relay), instead of waiting
+	// out the global 3(Bits+1)+DBound budget. Decoded outputs are
+	// unchanged — every wave a neighbor needs is relayed before the node
+	// stops — but runs on low-diameter graphs finish in O(d + Bits)
+	// local rounds. Off by default, preserving historical round counts.
+	EarlyStop bool
 
 	env       beep.Env
 	total     int
@@ -41,7 +50,10 @@ type WaveBroadcast struct {
 	finished  bool
 }
 
-var _ beep.Program = (*WaveBroadcast)(nil)
+var (
+	_ beep.Program      = (*WaveBroadcast)(nil)
+	_ beep.QuietProgram = (*WaveBroadcast)(nil)
+)
 
 // WaveRounds returns the exact running time 3(bits+1) + dBound.
 func WaveRounds(n, bits, dBound int) int {
@@ -95,6 +107,8 @@ func (wb *WaveBroadcast) Hear(round int, bit bool) {
 	defer func() {
 		if round == wb.total-1 {
 			wb.finished = true
+		} else if wb.EarlyStop && wb.marker >= 0 && round >= wb.marker+3*wb.Bits+1 {
+			wb.finished = true
 		}
 	}()
 	if wb.Source || !bit || round == wb.lastRelay {
@@ -120,6 +134,41 @@ func (wb *WaveBroadcast) Hear(round int, bit bool) {
 
 // Done implements beep.Program.
 func (wb *WaveBroadcast) Done() bool { return wb.finished }
+
+// NextWake implements beep.QuietProgram, the wave protocol's sparse
+// schedule: between the rounds returned here the node provably listens in
+// silence-tolerant quiescence, so the sparse driver skips it entirely.
+// Incoming beeps still drive the node outside this schedule (that is the
+// driver's job); NextWake only declares when the node acts on its own —
+// the source's wave launches, a pending relay, and the finish round.
+func (wb *WaveBroadcast) NextWake(round int) int {
+	if wb.finished {
+		return beep.NoWake
+	}
+	// The round whose Hear sets finished: the global budget's last round,
+	// or the early-stop point once the marker has calibrated the clock.
+	doneRound := wb.total - 1
+	if wb.EarlyStop && wb.marker >= 0 {
+		if d := wb.marker + 3*wb.Bits + 1; d < doneRound {
+			doneRound = d
+		}
+	}
+	next := doneRound
+	if wb.Source {
+		// Wave launches at rounds 0, 3, ..., 3·Bits.
+		if round < 0 {
+			next = 0
+		} else if round < 3*wb.Bits {
+			next = (round/3 + 1) * 3
+		}
+	} else if wb.relayAt > round && wb.relayAt < next {
+		next = wb.relayAt
+	}
+	if next <= round {
+		next = round + 1
+	}
+	return next
+}
 
 // Output returns the decoded message, or nil if the marker never arrived
 // (disconnected node).
@@ -148,15 +197,73 @@ func NewWaveBroadcast(n, source int, msg []byte, bits, dBound int) []beep.Progra
 // RunWaveBroadcast executes the protocol on a noiseless network and
 // returns each node's decoded message.
 func RunWaveBroadcast(g *graph.Graph, source int, msg []byte, bits, dBound int, seed uint64) ([][]byte, int, error) {
+	if dBound <= 0 {
+		dBound = g.N() // the historical loose default, kept for round-count stability
+	}
+	return RunWaveBroadcastOpts(g, source, msg, bits, dBound, seed, WaveOptions{})
+}
+
+// WaveOptions configures RunWaveBroadcastOpts beyond the historical
+// defaults (all-zero = exactly RunWaveBroadcast's behavior).
+type WaveOptions struct {
+	// EarlyStop enables per-node early termination (WaveBroadcast.EarlyStop).
+	EarlyStop bool
+	// Sparse drives the run through the network's sparse active-set
+	// executor instead of the dense per-round scan. Outputs are identical;
+	// per-round cost tracks the wave front instead of n.
+	Sparse bool
+	// Workers/Shards configure the execution pool (0 = serial).
+	Workers, Shards int
+	// Metrics receives channel telemetry (may be nil).
+	Metrics *obs.Registry
+}
+
+// RunWaveBroadcastOpts executes the protocol on a noiseless network with
+// the given execution options and returns each node's decoded message.
+// When dBound <= 0 it is tightened to the source's BFS eccentricity
+// (instead of RunWaveBroadcast's loose default of n), which is what makes
+// the large-n round budget O(D + b) in practice.
+func RunWaveBroadcastOpts(g *graph.Graph, source int, msg []byte, bits, dBound int, seed uint64, opt WaveOptions) ([][]byte, int, error) {
 	if bits <= 0 {
 		return nil, 0, fmt.Errorf("beepalgs: wave broadcast needs bits > 0")
 	}
-	nw, err := beep.NewNetwork(g, beep.Params{Seed: seed})
+	if dBound <= 0 {
+		dist, _ := g.BFS(source)
+		for _, d := range dist {
+			if d > dBound {
+				dBound = d
+			}
+		}
+		if dBound < 1 {
+			dBound = 1
+		}
+	}
+	nw, err := beep.NewNetwork(g, beep.Params{
+		Seed:    seed,
+		Workers: opt.Workers,
+		Shards:  opt.Shards,
+		Metrics: opt.Metrics,
+	})
 	if err != nil {
 		return nil, 0, err
 	}
-	progs := NewWaveBroadcast(g.N(), source, msg, bits, dBound)
-	res, err := nw.Run(progs, WaveRounds(g.N(), bits, dBound))
+	progs := make([]beep.Program, g.N())
+	for v := range progs {
+		progs[v] = &WaveBroadcast{
+			Source:    v == source,
+			Message:   msg,
+			Bits:      bits,
+			DBound:    dBound,
+			EarlyStop: opt.EarlyStop,
+		}
+	}
+	budget := WaveRounds(g.N(), bits, dBound)
+	var res *beep.Result
+	if opt.Sparse {
+		res, err = nw.RunSparse(progs, budget)
+	} else {
+		res, err = nw.Run(progs, budget)
+	}
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,87 @@
+package beepalgs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// TestWaveBroadcastSparseEquivalence runs the wave protocol through every
+// (EarlyStop × Sparse × workers) combination and pins all of them to the
+// dense serial baseline: identical decoded outputs everywhere, and — for a
+// fixed EarlyStop setting — identical round counts between the dense and
+// sparse drivers.
+func TestWaveBroadcastSparseEquivalence(t *testing.T) {
+	msg := []byte{0xa5, 0x3c}
+	const bits = 16
+	graphs := map[string]*graph.Graph{
+		"path":    graph.Path(40),
+		"grid":    graph.Grid(9, 11),
+		"cube":    graph.Hypercube(6),
+		"bounded": graph.RandomBoundedDegree(180, 6, 0.04, rng.New(21)),
+		"split":   graph.MustFromEdges(12, [][2]int{{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}}),
+	}
+	for name, g := range graphs {
+		baseline, baseRounds, err := RunWaveBroadcastOpts(g, 0, msg, bits, 0, 4, WaveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, earlyStop := range []bool{false, true} {
+			denseRounds := -1
+			for _, sparse := range []bool{false, true} {
+				for _, workers := range []int{0, 4, engine.AutoWorkers} {
+					out, rounds, err := RunWaveBroadcastOpts(g, 0, msg, bits, 0, 4, WaveOptions{
+						EarlyStop: earlyStop,
+						Sparse:    sparse,
+						Workers:   workers,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := range out {
+						if !bytes.Equal(out[v], baseline[v]) {
+							t.Fatalf("%s early=%v sparse=%v workers=%d: node %d decoded %x, baseline %x",
+								name, earlyStop, sparse, workers, v, out[v], baseline[v])
+						}
+					}
+					if denseRounds == -1 {
+						denseRounds = rounds
+					} else if rounds != denseRounds {
+						t.Fatalf("%s early=%v sparse=%v workers=%d: rounds %d, dense twin took %d",
+							name, earlyStop, sparse, workers, rounds, denseRounds)
+					}
+					if earlyStop && name == "path" && rounds >= baseRounds {
+						t.Fatalf("%s: early stop did not shorten the run: %d vs %d",
+							name, rounds, baseRounds)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWaveBroadcastEarlyStopDecodesEverything guards the early-stop cutoff
+// itself: marker + 3·Bits + 1 is a node's final possible relay round, so
+// stopping there must never lose a downstream bit — checked on a long path,
+// where any premature stop starves the whole suffix.
+func TestWaveBroadcastEarlyStopDecodesEverything(t *testing.T) {
+	g := graph.Path(120)
+	msg := []byte{0xff, 0x01, 0x80}
+	const bits = 24
+	out, rounds, err := RunWaveBroadcastOpts(g, 0, msg, bits, 0, 9, WaveOptions{EarlyStop: true, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if !wire.Equal(out[v], msg, bits) {
+			t.Fatalf("node %d decoded %x, want %x", v, out[v], msg)
+		}
+	}
+	if want := WaveRounds(g.N(), bits, 119); rounds > want {
+		t.Fatalf("early-stop run took %d rounds, exceeding the full budget %d", rounds, want)
+	}
+}

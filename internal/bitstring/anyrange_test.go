@@ -1,0 +1,60 @@
+package bitstring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAnyRangeMatchesOnesRange pins AnyRange to the reference predicate
+// OnesRange > 0 over randomized bitstrings and windows.
+func TestAnyRangeMatchesOnesRange(t *testing.T) {
+	prop := func(bits []bool, loSeed, hiSeed uint16) bool {
+		n := len(bits)
+		b := New(n)
+		for i, set := range bits {
+			if set {
+				b.Set(i)
+			}
+		}
+		if n == 0 {
+			return !b.AnyRange(0, 0)
+		}
+		lo := int(loSeed) % (n + 1)
+		hi := int(hiSeed) % (n + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return b.AnyRange(lo, hi) == (b.OnesRange(lo, hi) > 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyRangeEdges(t *testing.T) {
+	b := New(200)
+	if b.AnyRange(0, 200) {
+		t.Fatal("empty bitstring reported occupancy")
+	}
+	b.Set(63)
+	b.Set(128)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 0, false},
+		{0, 63, false},
+		{0, 64, true},
+		{63, 64, true},
+		{64, 128, false},
+		{64, 129, true},
+		{128, 129, true},
+		{129, 200, false},
+		{0, 200, true},
+	}
+	for _, c := range cases {
+		if got := b.AnyRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("AnyRange(%d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -357,6 +357,33 @@ func (s *BitString) OnesRange(lo, hi int) int {
 	return total + bits.OnesCount64(s.words[hiW]&hiMask)
 }
 
+// AnyRange reports whether any bit in [lo, hi) is 1 — OnesRange with an
+// early exit, the span-occupancy probe of the sparse engines' dirty-word
+// masks. It panics if the range is out of bounds or inverted.
+func (s *BitString) AnyRange(lo, hi int) bool {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("bitstring: range [%d,%d) out of bounds [0,%d)", lo, hi, s.n))
+	}
+	if lo == hi {
+		return false
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+	if loW == hiW {
+		return s.words[loW]&loMask&hiMask != 0
+	}
+	if s.words[loW]&loMask != 0 {
+		return true
+	}
+	for i := loW + 1; i < hiW; i++ {
+		if s.words[i] != 0 {
+			return true
+		}
+	}
+	return s.words[hiW]&hiMask != 0
+}
+
 // SetRange sets every bit in [lo, hi) to 1 — the word-parallel form of a
 // per-position Set loop over a contiguous run. It panics if the range is
 // out of bounds or inverted.

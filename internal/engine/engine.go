@@ -200,6 +200,63 @@ func (p *Pool) Do(n int, fn func(Span)) {
 	wg.Wait()
 }
 
+// DoMasked runs fn over the spans of [0, n) whose vertex range satisfies
+// active — the sparse-frontier form of Do, letting engines skip spans
+// whose reception window is quiescent. active must be a pure read (it is
+// probed serially, in span order, before dispatch); fn sees exactly the
+// spans active admitted, executed under the same determinism contract as
+// Do. Span.Index still refers to the full decomposition, so per-span
+// scratch indexed by it keeps working.
+func (p *Pool) DoMasked(n int, active func(lo, hi int) bool, fn func(Span)) {
+	spans := p.Spans(n)
+	if len(spans) == 0 {
+		return
+	}
+	live := make([]Span, 0, len(spans))
+	for _, s := range spans {
+		if active(s.Lo, s.Hi) {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if p != nil {
+		if m := p.metrics.Load(); m != nil {
+			m.Do.Inc()
+			m.Spans.Add(int64(len(live)))
+			sp := m.Wait.Start()
+			defer sp.Stop()
+		}
+	}
+	workers := p.Workers()
+	if workers == 1 || len(live) == 1 {
+		for _, s := range live {
+			fn(s)
+		}
+		return
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(live) {
+					return
+				}
+				fn(live[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // DoErr runs fn over every span and returns the error of the
 // lowest-numbered span that failed (nil if none did). Callbacks should
 // return their first error in vertex order; the reported error is then

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDoMaskedFiltersSpans checks the predicate contract: fn sees exactly
+// the admitted spans, Span.Index still refers to the full decomposition,
+// and serial and parallel pools admit the identical set.
+func TestDoMaskedFiltersSpans(t *testing.T) {
+	const n = 64 * 40
+	collect := func(workers int, active func(lo, hi int) bool) map[int][2]int {
+		p := NewPool(workers, 8)
+		var mu sync.Mutex
+		got := map[int][2]int{}
+		p.DoMasked(n, active, func(s Span) {
+			mu.Lock()
+			got[s.Index] = [2]int{s.Lo, s.Hi}
+			mu.Unlock()
+		})
+		return got
+	}
+	preds := map[string]func(lo, hi int) bool{
+		"none": func(lo, hi int) bool { return false },
+		"all":  func(lo, hi int) bool { return true },
+		"even": func(lo, hi int) bool { return (lo/64)%2 == 0 },
+		"one":  func(lo, hi int) bool { return lo <= 1000 && 1000 < hi },
+	}
+	for name, pred := range preds {
+		serial := collect(1, pred)
+		parallel := collect(4, pred)
+		if len(serial) != len(parallel) {
+			t.Fatalf("%s: serial admitted %d spans, parallel %d", name, len(serial), len(parallel))
+		}
+		for idx, rng := range serial {
+			if parallel[idx] != rng {
+				t.Fatalf("%s: span %d differs: %v vs %v", name, idx, rng, parallel[idx])
+			}
+		}
+		// Cross-check against Do over the full decomposition.
+		full := map[int][2]int{}
+		NewPool(1, 8).Do(n, func(s Span) {
+			if pred(s.Lo, s.Hi) {
+				full[s.Index] = [2]int{s.Lo, s.Hi}
+			}
+		})
+		if len(full) != len(serial) {
+			t.Fatalf("%s: DoMasked admitted %d spans, Do-filtered %d", name, len(serial), len(full))
+		}
+		for idx, rng := range full {
+			if serial[idx] != rng {
+				t.Fatalf("%s: span %d: DoMasked %v vs Do %v", name, idx, serial[idx], rng)
+			}
+		}
+	}
+}
+
+// TestDoMaskedCoversAllVertices runs a per-vertex write under an all-pass
+// mask and checks full coverage, serial vs parallel.
+func TestDoMaskedCoversAllVertices(t *testing.T) {
+	const n = 64*7 + 13
+	for _, workers := range []int{1, 3, AutoWorkers} {
+		p := NewPool(workers, 0)
+		seen := make([]int, n)
+		p.DoMasked(n, func(lo, hi int) bool { return true }, func(s Span) {
+			for v := s.Lo; v < s.Hi; v++ {
+				seen[v]++
+			}
+		})
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: vertex %d visited %d times", workers, v, c)
+			}
+		}
+	}
+}

@@ -25,12 +25,17 @@
 // form whose [lo,hi) slices the deterministic sharded worker pool of
 // internal/engine hands out; both forms compute the same bits.
 //
-// The int32 representation bounds graphs to about 2 billion directed
-// edges, far beyond what the simulators can step in any case.
+// The default int32 offset representation bounds graphs to about 2
+// billion directed edges; FromRowFunc's BuildOptions.WideIndex opts into
+// int64 offsets past that capacity (neighbor entries always fit int32,
+// since vertex ids are bounded by MaxInt32 independently). Exceeding the
+// configured width is a typed *CapacityError on every construction path —
+// never a panic — so the sweep layer surfaces it as a scenario failure.
 package graph
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"math/bits"
 	"slices"
@@ -41,21 +46,56 @@ import (
 	"repro/internal/rng"
 )
 
+// CapacityError reports a graph whose CSR arrays exceed the offset index
+// width in use: more than 2³¹−1 directed edges with the default int32
+// offsets (BuildOptions.WideIndex opts into int64), or a vertex count
+// beyond int32 ids (no wider id width exists). Every construction path —
+// FromEdges, FromRowFunc, Square — returns it instead of panicking, so
+// callers can surface an oversized graph as an input error.
+type CapacityError struct {
+	// Vertices and DirectedEdges describe the offending graph; the zero
+	// field is the one within capacity.
+	Vertices      int
+	DirectedEdges int64
+	// Wide reports whether the failed build had already opted into
+	// int64 offsets (then only the vertex-id width can overflow).
+	Wide bool
+}
+
+func (e *CapacityError) Error() string {
+	if e.Vertices != 0 {
+		return fmt.Sprintf("graph: %d vertices exceed the int32 CSR id capacity", e.Vertices)
+	}
+	if e.Wide {
+		return fmt.Sprintf("graph: %d directed edges overflow the CSR arrays", e.DirectedEdges)
+	}
+	return fmt.Sprintf("graph: %d directed edges exceed the int32 CSR offset capacity (BuildOptions.WideIndex opts into int64 offsets)", e.DirectedEdges)
+}
+
+// maxOffset32 is the int32 offset capacity. A variable, not a constant,
+// so tests can exercise the overflow and width-promotion paths without
+// materializing multi-gigabyte graphs.
+var maxOffset32 int64 = math.MaxInt32
+
 // Graph is an immutable simple undirected graph on vertices 0..n-1, stored
 // in CSR (compressed sparse row) form.
 type Graph struct {
 	n      int
 	m      int
 	maxDeg int
-	off    []int32 // len n+1; row v is nbr[off[v]:off[v+1]]
+	off    []int32 // len n+1; row v is nbr[off[v]:off[v+1]] (nil when wide)
+	off64  []int64 // wide-index alternative to off (BuildOptions.WideIndex)
 	nbr    []int32 // concatenated sorted neighbor rows, len 2m
 
 	// d2once memoizes DistanceTwoColoring: the coloring is a pure
 	// function of the (immutable) graph, and graph instances are shared
 	// across concurrent scenario executions by the sweep layer's
 	// artifact cache, so each shared graph pays the G²+greedy cost once.
+	// It stays entirely lazy: engines that never schedule by color (the
+	// beep-native and sparse drivers) never pay for it.
 	d2once   sync.Once
 	d2colors []int
+	d2err    error
 }
 
 // FromEdges builds a graph with n vertices from an edge list. It rejects
@@ -65,10 +105,10 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	if n > math.MaxInt32 {
-		return nil, fmt.Errorf("graph: %d vertices exceed the CSR int32 capacity", n)
+		return nil, &CapacityError{Vertices: n}
 	}
-	if len(edges) > math.MaxInt32/2 {
-		return nil, fmt.Errorf("graph: %d edges exceed the CSR int32 capacity", len(edges))
+	if int64(len(edges)) > maxOffset32/2 {
+		return nil, &CapacityError{DirectedEdges: 2 * int64(len(edges))}
 	}
 	deg := make([]int32, n)
 	for _, e := range edges {
@@ -116,15 +156,19 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 }
 
 // fromRows builds a graph directly from sorted, deduplicated rows (the
-// internal fast path for derived graphs such as Square).
-func fromRows(n int, rows [][]int32, m int) *Graph {
+// internal fast path for derived graphs such as Square). Like FromEdges
+// it reports int32 CSR overflow as a typed *CapacityError — the two
+// construction paths share one error contract, so derived graphs that
+// outgrow the representation fail a scenario instead of crashing the
+// process.
+func fromRows(n int, rows [][]int32, m int) (*Graph, error) {
 	g := &Graph{n: n, m: m, off: make([]int32, n+1)}
-	total := 0
+	total := int64(0)
 	for _, row := range rows {
-		total += len(row)
+		total += int64(len(row))
 	}
-	if total > math.MaxInt32 {
-		panic(fmt.Sprintf("graph: %d directed edges exceed the CSR int32 capacity", total))
+	if total > maxOffset32 {
+		return nil, &CapacityError{DirectedEdges: total}
 	}
 	g.nbr = make([]int32, 0, total)
 	for v := 0; v < n; v++ {
@@ -134,7 +178,7 @@ func fromRows(n int, rows [][]int32, m int) *Graph {
 			g.maxDeg = len(rows[v])
 		}
 	}
-	return g
+	return g, nil
 }
 
 // MustFromEdges is FromEdges that panics on error, for tests and
@@ -154,7 +198,27 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
+func (g *Graph) Degree(v int) int {
+	if g.off64 != nil {
+		return int(g.off64[v+1] - g.off64[v])
+	}
+	return int(g.off[v+1] - g.off[v])
+}
+
+// WideIndex reports whether the graph uses int64 CSR offsets
+// (BuildOptions.WideIndex) instead of the default int32.
+func (g *Graph) WideIndex() bool { return g.off64 != nil }
+
+// Bytes returns the CSR memory footprint in bytes (neighbor array plus
+// offset table) — the number the sweep layer's graph-bytes gauge reports
+// when sizing large-n runs.
+func (g *Graph) Bytes() int64 {
+	b := int64(len(g.nbr)) * 4
+	if g.off64 != nil {
+		return b + int64(len(g.off64))*8
+	}
+	return b + int64(len(g.off))*4
+}
 
 // MaxDegree returns Δ, the maximum degree (cached at construction; the
 // simulators read it per node per run). It is 0 for edgeless graphs.
@@ -163,7 +227,12 @@ func (g *Graph) MaxDegree() int { return g.maxDeg }
 // Row returns v's sorted neighbor row as a zero-copy slice of the CSR
 // neighbor array. The slice aliases the graph and must not be modified.
 // This is the accessor the engines' hot loops use.
-func (g *Graph) Row(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
+func (g *Graph) Row(v int) []int32 {
+	if g.off64 != nil {
+		return g.nbr[g.off64[v]:g.off64[v+1]]
+	}
+	return g.nbr[g.off[v]:g.off[v+1]]
+}
 
 // Neighbors returns the sorted neighbor list of v as a freshly allocated
 // []int. Setup and verification code may use it freely; per-round loops
@@ -183,17 +252,29 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return found
 }
 
-// Edges returns all edges with u < v, in lexicographic order.
+// Edges returns all edges with u < v, in lexicographic order. It
+// materializes an O(m) slice; callers that only iterate should use
+// EdgesSeq, which streams the same edges straight off the CSR rows.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
-	for u := 0; u < g.n; u++ {
-		for _, v := range g.Row(u) {
-			if int32(u) < v {
-				out = append(out, [2]int{u, int(v)})
+	for u, v := range g.EdgesSeq() {
+		out = append(out, [2]int{u, v})
+	}
+	return out
+}
+
+// EdgesSeq returns an iterator over all edges (u, v) with u < v, in
+// lexicographic order — the streaming form of Edges, allocating nothing.
+func (g *Graph) EdgesSeq() iter.Seq2[int, int] {
+	return func(yield func(u, v int) bool) {
+		for u := 0; u < g.n; u++ {
+			for _, v := range g.Row(u) {
+				if int32(u) < v && !yield(u, int(v)) {
+					return
+				}
 			}
 		}
 	}
-	return out
 }
 
 // BFS returns distances and BFS-tree parents from root. Unreachable
@@ -314,12 +395,40 @@ func (g *Graph) NeighborhoodOrRange(src, dst *bitstring.BitString, lo, hi int) {
 	}
 }
 
+// NeighborhoodOrFrontier is the sender-centric NeighborhoodOr with the
+// active-frontier update fused in: alongside ORing every src vertex's row
+// into dst, it records each dst word it dirtied in sum — a second-level
+// bitset with one bit per dst word (bit w of sum word w>>6 covers dst
+// words [64w, 64w+64)). Sparse engines keep such a summary over the
+// reception window so subsequent passes skip quiescent spans entirely
+// instead of scanning all of dst. sum must have at least
+// (dst.Words()+63)/64 entries; bits already set in sum are kept. The dst
+// bits written are exactly NeighborhoodOr's — the fusion only adds the
+// summary bookkeeping to the same pass.
+func (g *Graph) NeighborhoodOrFrontier(src, dst *bitstring.BitString, sum []uint64) {
+	if src.Len() != g.n || dst.Len() != g.n {
+		panic(fmt.Sprintf("graph: NeighborhoodOrFrontier bitset lengths %d,%d for n=%d", src.Len(), dst.Len(), g.n))
+	}
+	dw := dst.Words()
+	for wi, w := range src.Words() {
+		for w != 0 {
+			u := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, v := range g.Row(u) {
+				wv := v >> 6
+				dw[wv] |= 1 << (uint(v) & 63)
+				sum[wv>>6] |= 1 << (uint(wv) & 63)
+			}
+		}
+	}
+}
+
 // Square returns G²: the graph on the same vertices where u,v are adjacent
 // iff their distance in g is 1 or 2. It is the structure the prior-work
 // baselines color to schedule conflict-free transmissions (§1.4).
-// It panics (fail-fast, via fromRows) if G² exceeds the CSR int32
+// It returns a *CapacityError (via fromRows) if G² exceeds the CSR int32
 // capacity of about 2 billion directed edges.
-func (g *Graph) Square() *Graph {
+func (g *Graph) Square() (*Graph, error) {
 	rows := make([][]int32, g.n)
 	seen := make([]int, g.n)
 	for i := range seen {
@@ -390,12 +499,18 @@ func (g *Graph) GreedyColoring(order []int) []int {
 // simulations. The number of colors used is at most Δ²+1. The result is
 // computed once per graph instance (it is deterministic, and callers
 // must not mutate it) and shared by every subsequent call, including
-// concurrent ones.
-func (g *Graph) DistanceTwoColoring() []int {
+// concurrent ones. It fails with a *CapacityError when G² overflows the
+// CSR representation — large sparse graphs whose square is still huge.
+func (g *Graph) DistanceTwoColoring() ([]int, error) {
 	g.d2once.Do(func() {
-		g.d2colors = g.Square().GreedyColoring(nil)
+		sq, err := g.Square()
+		if err != nil {
+			g.d2err = err
+			return
+		}
+		g.d2colors = sq.GreedyColoring(nil)
 	})
-	return g.d2colors
+	return g.d2colors, g.d2err
 }
 
 // NumColors returns the number of distinct colors in a coloring (max+1).
@@ -410,27 +525,28 @@ func NumColors(colors []int) int {
 }
 
 // --- Generators ---
+//
+// The deterministic families delegate to the streaming row functions of
+// stream.go through the serial two-pass builder; these wrappers keep the
+// historical convenience signatures (and their panic-on-misuse contract)
+// while large-n callers use FromRowFunc directly with worker counts.
+
+// mustBuild is the serial FromRowFunc for generators whose inputs are
+// valid by construction; it panics on the (impossible) builder error.
+func mustBuild(n int, rows RowFunc) *Graph {
+	g, err := FromRowFunc(n, rows, BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
 
 // Complete returns K_n.
-func Complete(n int) *Graph {
-	var edges [][2]int
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			edges = append(edges, [2]int{u, v})
-		}
-	}
-	return MustFromEdges(n, edges)
-}
+func Complete(n int) *Graph { return mustBuild(n, CompleteRows(n)) }
 
 // CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
 func CompleteBipartite(a, b int) *Graph {
-	var edges [][2]int
-	for u := 0; u < a; u++ {
-		for v := a; v < a+b; v++ {
-			edges = append(edges, [2]int{u, v})
-		}
-	}
-	return MustFromEdges(a+b, edges)
+	return mustBuild(a+b, CompleteBipartiteRows(a, b))
 }
 
 // HardInstance returns the Lemma 14 / Theorem 22 hard graph: K_{Δ,Δ} on
@@ -440,82 +556,32 @@ func HardInstance(n, delta int) (*Graph, error) {
 	if delta < 1 || 2*delta > n {
 		return nil, fmt.Errorf("graph: hard instance needs 1 <= Δ and 2Δ <= n, got n=%d Δ=%d", n, delta)
 	}
-	var edges [][2]int
-	for u := 0; u < delta; u++ {
-		for v := delta; v < 2*delta; v++ {
-			edges = append(edges, [2]int{u, v})
-		}
-	}
-	return FromEdges(n, edges)
+	return FromRowFunc(n, HardInstanceRows(n, delta), BuildOptions{})
 }
 
 // Cycle returns the n-cycle (n >= 3).
-func Cycle(n int) *Graph {
-	edges := make([][2]int, 0, n)
-	for i := 0; i < n; i++ {
-		edges = append(edges, [2]int{i, (i + 1) % n})
-	}
-	return MustFromEdges(n, edges)
-}
+func Cycle(n int) *Graph { return mustBuild(n, CycleRows(n)) }
 
 // Path returns the n-vertex path.
-func Path(n int) *Graph {
-	edges := make([][2]int, 0, n-1)
-	for i := 0; i+1 < n; i++ {
-		edges = append(edges, [2]int{i, i + 1})
-	}
-	return MustFromEdges(n, edges)
-}
+func Path(n int) *Graph { return mustBuild(n, PathRows(n)) }
 
 // Star returns the star with center 0 and n-1 leaves.
-func Star(n int) *Graph {
-	edges := make([][2]int, 0, n-1)
-	for i := 1; i < n; i++ {
-		edges = append(edges, [2]int{0, i})
-	}
-	return MustFromEdges(n, edges)
-}
+func Star(n int) *Graph { return mustBuild(n, StarRows(n)) }
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) *Graph {
-	var edges [][2]int
-	id := func(r, c int) int { return r*cols + c }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
-			}
-			if r+1 < rows {
-				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
-			}
-		}
-	}
-	return MustFromEdges(rows*cols, edges)
+	return mustBuild(rows*cols, GridRows(rows, cols))
 }
 
 // Hypercube returns the dim-dimensional hypercube on 2^dim vertices.
 func Hypercube(dim int) *Graph {
-	n := 1 << uint(dim)
-	var edges [][2]int
-	for v := 0; v < n; v++ {
-		for b := 0; b < dim; b++ {
-			u := v ^ (1 << uint(b))
-			if v < u {
-				edges = append(edges, [2]int{v, u})
-			}
-		}
-	}
-	return MustFromEdges(n, edges)
+	return mustBuild(1<<uint(dim), HypercubeRows(dim))
 }
 
 // CompleteBinaryTree returns a complete binary tree on n vertices with
 // root 0 (vertex v has children 2v+1 and 2v+2 when present).
 func CompleteBinaryTree(n int) *Graph {
-	var edges [][2]int
-	for v := 1; v < n; v++ {
-		edges = append(edges, [2]int{(v - 1) / 2, v})
-	}
-	return MustFromEdges(n, edges)
+	return mustBuild(n, CompleteBinaryTreeRows(n))
 }
 
 // RandomRegular returns a random d-regular graph on n vertices via the

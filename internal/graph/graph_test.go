@@ -126,7 +126,10 @@ func TestDiameterKnownGraphs(t *testing.T) {
 
 func TestSquare(t *testing.T) {
 	// Path 0-1-2-3: square adds {0,2},{1,3}.
-	g := Path(4).Square()
+	g, err := Path(4).Square()
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}
 	if g.M() != len(wantEdges) {
 		t.Fatalf("square has %d edges, want %d: %v", g.M(), len(wantEdges), g.Edges())
@@ -139,7 +142,10 @@ func TestSquare(t *testing.T) {
 }
 
 func TestSquareOfCompleteIsComplete(t *testing.T) {
-	g := Complete(6).Square()
+	g, err := Complete(6).Square()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.M() != 15 {
 		t.Errorf("K6² has %d edges, want 15", g.M())
 	}
@@ -162,7 +168,10 @@ func TestGreedyColoringProper(t *testing.T) {
 func TestDistanceTwoColoringProper(t *testing.T) {
 	r := rng.New(3)
 	g := RandomBoundedDegree(60, 5, 0.1, r)
-	colors := g.DistanceTwoColoring()
+	colors, err := g.DistanceTwoColoring()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// No two vertices at distance <= 2 share a color.
 	for v := 0; v < g.N(); v++ {
 		dist, _ := g.BFS(v)
@@ -313,7 +322,10 @@ func TestPropertySquareContainsOriginal(t *testing.T) {
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%30) + 2
 		g := RandomBoundedDegree(n, 4, 0.3, rng.New(seed))
-		sq := g.Square()
+		sq, err := g.Square()
+		if err != nil {
+			return false
+		}
 		for _, e := range g.Edges() {
 			if !sq.HasEdge(e[0], e[1]) {
 				return false
@@ -330,7 +342,10 @@ func TestPropertySquareMatchesBFS(t *testing.T) {
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%20) + 2
 		g := RandomBoundedDegree(n, 4, 0.3, rng.New(seed))
-		sq := g.Square()
+		sq, err := g.Square()
+		if err != nil {
+			return false
+		}
 		for v := 0; v < n; v++ {
 			dist, _ := g.BFS(v)
 			for u := 0; u < n; u++ {
@@ -354,7 +369,7 @@ func BenchmarkSquare(b *testing.B) {
 	g := RandomBoundedDegree(500, 10, 0.05, rng.New(7))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = g.Square()
+		_, _ = g.Square()
 	}
 }
 
@@ -362,7 +377,7 @@ func BenchmarkDistanceTwoColoring(b *testing.B) {
 	g := RandomBoundedDegree(500, 10, 0.05, rng.New(8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = g.DistanceTwoColoring()
+		_, _ = g.DistanceTwoColoring()
 	}
 }
 
@@ -416,7 +431,10 @@ func TestProjectivePlaneIncidence(t *testing.T) {
 		// The points form a clique in G² (any two points share a line), so
 		// χ(G²) ≥ m = Θ(Δ²) — the worst case for distance-2 coloring.
 		if q <= 3 {
-			sq := g.Square()
+			sq, err := g.Square()
+			if err != nil {
+				t.Fatal(err)
+			}
 			for p1 := 0; p1 < m; p1++ {
 				for p2 := p1 + 1; p2 < m; p2++ {
 					if !sq.HasEdge(p1, p2) {
@@ -427,7 +445,11 @@ func TestProjectivePlaneIncidence(t *testing.T) {
 					}
 				}
 			}
-			if nc := NumColors(g.DistanceTwoColoring()); nc < m {
+			d2, err := g.DistanceTwoColoring()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nc := NumColors(d2); nc < m {
 				t.Errorf("PG(2,%d): distance-2 coloring used %d colors, want ≥ %d", q, nc, m)
 			}
 		}

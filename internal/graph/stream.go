@@ -1,0 +1,453 @@
+package graph
+
+// Streaming sharded CSR construction. A RowFunc describes a graph as a
+// pure function from vertex to sorted neighbor row; FromRowFunc turns it
+// into CSR with a two-pass degree-count→fill build that writes straight
+// into the flat arrays, never materializing a [][2]int edge list. Both
+// passes shard [0, n) into contiguous chunks that workers process
+// independently — every array slot belongs to exactly one vertex, so the
+// result is byte-identical for any worker count. Randomized families stay
+// shardable by deriving per-vertex randomness from pure hashes of
+// (seed, vertex) instead of a sequential stream; GeoRows is the model.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// RowFunc emits vertex v's neighbor row, one neighbor at a time, in
+// strictly increasing order. It must be a pure function of v (the builder
+// calls it twice per vertex — once to count, once to fill — possibly from
+// different goroutines), must be symmetric (u appears in v's row iff v
+// appears in u's), and must emit ids in [0, n) excluding v itself.
+type RowFunc func(v int, emit func(u int32))
+
+// BuildOptions configures FromRowFunc.
+type BuildOptions struct {
+	// Workers is the number of generation shards: 0 or 1 build serially,
+	// k > 1 uses k goroutines, and any negative value uses GOMAXPROCS.
+	// The built graph is byte-identical for every value.
+	Workers int
+	// WideIndex opts into int64 CSR offsets, lifting the 2³¹−1
+	// directed-edge capacity of the default int32 offset table at the
+	// cost of doubling the offset footprint.
+	WideIndex bool
+}
+
+// maxOffsetWide is the int64 offset capacity (a variable so tests can
+// exercise the wide-overflow branch without exabyte allocations).
+var maxOffsetWide int64 = math.MaxInt64
+
+// FromRowFunc builds a graph with n vertices from a streaming row
+// function via the two-pass degree-count→fill CSR builder. Capacity
+// overflow surfaces as a typed *CapacityError, row-contract violations
+// (unsorted, out-of-range, or self-loop neighbors) as plain errors;
+// it never panics on bad input.
+func FromRowFunc(n int, rows RowFunc, opt BuildOptions) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if n > math.MaxInt32 {
+		return nil, &CapacityError{Vertices: n}
+	}
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 0 { // n == 0
+		workers = 1
+	}
+
+	// Pass 1: per-vertex degree count with contract validation. Chunks
+	// are contiguous vertex ranges; each worker writes only its own deg
+	// slots, so scheduling order cannot influence the result.
+	deg := make([]int32, n)
+	chunks := chunkRanges(n, workers)
+	errs := make([]error, len(chunks))
+	maxDegs := make([]int, len(chunks))
+	runChunks(chunks, workers, func(ci int, lo, hi int) {
+		maxDeg := 0
+		for v := lo; v < hi; v++ {
+			d := 0
+			prev := int32(-1)
+			bad := error(nil)
+			rows(v, func(u int32) {
+				if bad != nil {
+					return
+				}
+				switch {
+				case int(u) == v:
+					bad = fmt.Errorf("graph: RowFunc emitted self-loop at %d", v)
+				case u < 0 || int(u) >= n:
+					bad = fmt.Errorf("graph: RowFunc neighbor %d of %d out of range [0,%d)", u, v, n)
+				case u <= prev:
+					bad = fmt.Errorf("graph: RowFunc row of %d not strictly increasing at %d", v, u)
+				}
+				prev = u
+				d++
+			})
+			if bad != nil && errs[ci] == nil {
+				errs[ci] = bad
+			}
+			deg[v] = int32(d)
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		maxDegs[ci] = maxDeg
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Prefix sum in int64, then capacity check before any O(m) allocation.
+	total := int64(0)
+	var off []int32
+	var off64 []int64
+	if opt.WideIndex {
+		off64 = make([]int64, n+1)
+		for v := 0; v < n; v++ {
+			total += int64(deg[v])
+			off64[v+1] = total
+		}
+		if total > maxOffsetWide {
+			return nil, &CapacityError{DirectedEdges: total, Wide: true}
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			total += int64(deg[v])
+		}
+		if total > maxOffset32 {
+			return nil, &CapacityError{DirectedEdges: total}
+		}
+		off = make([]int32, n+1)
+		acc := int32(0)
+		for v := 0; v < n; v++ {
+			acc += deg[v]
+			off[v+1] = acc
+		}
+	}
+
+	g := &Graph{n: n, m: int(total / 2), off: off, off64: off64, nbr: make([]int32, total)}
+	for _, d := range maxDegs {
+		if d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+
+	// Pass 2: fill. Each chunk writes the disjoint region
+	// nbr[off[lo]:off[hi]); a RowFunc that emits different rows than in
+	// pass 1 is caught by the per-vertex bounds check.
+	runChunks(chunks, workers, func(ci int, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var pos, end int64
+			if off64 != nil {
+				pos, end = off64[v], off64[v+1]
+			} else {
+				pos, end = int64(off[v]), int64(off[v+1])
+			}
+			rows(v, func(u int32) {
+				if pos < end {
+					g.nbr[pos] = u
+					pos++
+				} else {
+					pos = end + 1
+				}
+			})
+			if pos != end && errs[ci] == nil {
+				errs[ci] = fmt.Errorf("graph: RowFunc emitted different rows for %d across passes", v)
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// chunkRanges splits [0, n) into contiguous ranges, several per worker so
+// uneven row funcs still balance; the split is a pure function of
+// (n, workers) but the result never depends on it — chunks only decide
+// which goroutine writes which disjoint slots.
+func chunkRanges(n, workers int) [][2]int {
+	if n == 0 {
+		return [][2]int{{0, 0}}
+	}
+	per := 4 * workers
+	size := (n + per - 1) / per
+	if size < 1 {
+		size = 1
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runChunks dispatches the chunk list over up to `workers` goroutines
+// (inline when workers is 1).
+func runChunks(chunks [][2]int, workers int, fn func(ci, lo, hi int)) {
+	if workers <= 1 || len(chunks) <= 1 {
+		for ci, c := range chunks {
+			fn(ci, c[0], c[1])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				fn(ci, chunks[ci][0], chunks[ci][1])
+			}
+		}()
+	}
+	for ci := range chunks {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+}
+
+// --- Row functions for the deterministic families ---
+
+// GridRows describes the rows×cols grid graph (vertex r*cols+c at row r,
+// column c, 4-neighborhood).
+func GridRows(rows, cols int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		r, c := v/cols, v%cols
+		if r > 0 {
+			emit(int32(v - cols))
+		}
+		if c > 0 {
+			emit(int32(v - 1))
+		}
+		if c+1 < cols {
+			emit(int32(v + 1))
+		}
+		if r+1 < rows {
+			emit(int32(v + cols))
+		}
+	}
+}
+
+// HypercubeRows describes the dim-dimensional hypercube on 2^dim
+// vertices (u ~ v iff they differ in exactly one bit).
+func HypercubeRows(dim int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		// Set bits flipped high-to-low give the below-v neighbors in
+		// increasing order; unset bits low-to-high give the above-v ones.
+		for b := dim - 1; b >= 0; b-- {
+			if v&(1<<uint(b)) != 0 {
+				emit(int32(v ^ (1 << uint(b))))
+			}
+		}
+		for b := 0; b < dim; b++ {
+			if v&(1<<uint(b)) == 0 {
+				emit(int32(v ^ (1 << uint(b))))
+			}
+		}
+	}
+}
+
+// CompleteRows describes K_n.
+func CompleteRows(n int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		for u := 0; u < n; u++ {
+			if u != v {
+				emit(int32(u))
+			}
+		}
+	}
+}
+
+// CompleteBipartiteRows describes K_{a,b} with parts {0..a-1} and
+// {a..a+b-1}.
+func CompleteBipartiteRows(a, b int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		if v < a {
+			for u := a; u < a+b; u++ {
+				emit(int32(u))
+			}
+		} else {
+			for u := 0; u < a; u++ {
+				emit(int32(u))
+			}
+		}
+	}
+}
+
+// HardInstanceRows describes the Lemma 14 hard instance: K_{Δ,Δ} on
+// vertices 0..2Δ-1 plus n−2Δ isolated vertices.
+func HardInstanceRows(n, delta int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		switch {
+		case v < delta:
+			for u := delta; u < 2*delta; u++ {
+				emit(int32(u))
+			}
+		case v < 2*delta:
+			for u := 0; u < delta; u++ {
+				emit(int32(u))
+			}
+		}
+	}
+}
+
+// CycleRows describes the n-cycle (n >= 3).
+func CycleRows(n int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		a, b := (v-1+n)%n, (v+1)%n
+		if a > b {
+			a, b = b, a
+		}
+		emit(int32(a))
+		emit(int32(b))
+	}
+}
+
+// PathRows describes the n-vertex path.
+func PathRows(n int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		if v > 0 {
+			emit(int32(v - 1))
+		}
+		if v+1 < n {
+			emit(int32(v + 1))
+		}
+	}
+}
+
+// StarRows describes the star with center 0 and n−1 leaves.
+func StarRows(n int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		if v == 0 {
+			for u := 1; u < n; u++ {
+				emit(int32(u))
+			}
+		} else {
+			emit(0)
+		}
+	}
+}
+
+// CompleteBinaryTreeRows describes the complete binary tree on n vertices
+// rooted at 0 (children of v are 2v+1 and 2v+2).
+func CompleteBinaryTreeRows(n int) RowFunc {
+	return func(v int, emit func(u int32)) {
+		if v > 0 {
+			emit(int32((v - 1) / 2))
+		}
+		if 2*v+1 < n {
+			emit(int32(2*v + 1))
+		}
+		if 2*v+2 < n {
+			emit(int32(2*v + 2))
+		}
+	}
+}
+
+// --- The geo family: a shardable random geometric graph ---
+
+// Tags separating the two coordinate hash streams of GeoRows.
+const (
+	geoTagX = 0x67656f2d78 // "geo-x"
+	geoTagY = 0x67656f2d79 // "geo-y"
+)
+
+// geoRadius2 is the squared connection radius of the geo family. Cell
+// centers sit on an integer lattice with jitter in [0, 0.4), so lattice
+// neighbors are at most √(1+0.4²) ≈ 1.077 apart and diagonal ones at
+// most √2·1.4 ≈ 1.456 — both under the 1.7 radius, which keeps the
+// family connected for every seed while bounding the degree by the 24
+// candidate cells within distance 2 in each axis.
+const geoRadius2 = 1.7 * 1.7
+
+// geoSide returns the lattice side for n vertices: the smallest s with
+// s² ≥ n.
+func geoSide(n int) int {
+	s := int(math.Sqrt(float64(n)))
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// geoCoord returns vertex v's position along one axis: its lattice
+// coordinate plus a jitter in [0, 0.4) hashed purely from (seed, tag, v).
+// Pure per-vertex hashing — no sequential rng stream — is what lets
+// sharded generation produce identical graphs for any worker count.
+func geoCoord(seed, tag uint64, v, lattice int) float64 {
+	u := float64(rng.Mix(seed, tag, uint64(v))>>11) / (1 << 53)
+	return float64(lattice) + 0.4*u
+}
+
+// GeoRows describes the geo family for n ≥ 17 (lattice side ≥ 5):
+// vertices on a jittered ⌈√n⌉×⌈√n⌉ lattice, connected within distance
+// 1.7. Candidate neighbors are the ≤24 surrounding cells, scanned in
+// row-major order, which for side ≥ 5 enumerates ids in increasing order.
+func GeoRows(n int, seed uint64) RowFunc {
+	side := geoSide(n)
+	return func(v int, emit func(u int32)) {
+		r, c := v/side, v%side
+		x := geoCoord(seed, geoTagX, v, c)
+		y := geoCoord(seed, geoTagY, v, r)
+		for dr := -2; dr <= 2; dr++ {
+			ur := r + dr
+			if ur < 0 || ur >= side {
+				continue
+			}
+			for dc := -2; dc <= 2; dc++ {
+				uc := c + dc
+				if uc < 0 || uc >= side {
+					continue
+				}
+				u := ur*side + uc
+				if u == v || u >= n {
+					continue
+				}
+				dx := geoCoord(seed, geoTagX, u, uc) - x
+				dy := geoCoord(seed, geoTagY, u, ur) - y
+				if dx*dx+dy*dy <= geoRadius2 {
+					emit(int32(u))
+				}
+			}
+		}
+	}
+}
+
+// GeometricCells builds the geo family graph for n ≥ 17: the shardable,
+// seed-stable successor to RandomGeometricGrid for large-n runs. The
+// graph is connected for every seed (lattice-adjacent cells are always
+// within radius), has maximum degree ≤ 24, and is byte-identical for any
+// opt.Workers.
+func GeometricCells(n int, seed uint64, opt BuildOptions) (*Graph, error) {
+	if side := geoSide(n); side < 5 {
+		return nil, fmt.Errorf("graph: geo family needs lattice side >= 5 (n >= 17), got n=%d", n)
+	}
+	return FromRowFunc(n, GeoRows(n, seed), opt)
+}

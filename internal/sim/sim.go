@@ -54,6 +54,9 @@ const (
 	WorkloadLeader   = "leader"   // max-ID leader election by flooding
 	WorkloadMatching = "matching" // the paper's §6 maximal matching (Algorithm 3)
 	WorkloadBFSTree  = "bfstree"  // BFS tree from node 0
+	// WorkloadBroadcast is single-source payload flooding from node 0,
+	// with the O(D + b) beep-wave protocol as the native implementation.
+	WorkloadBroadcast = "broadcast"
 )
 
 // Extras carries engine-specific measurements out of an Instance run —

@@ -86,8 +86,9 @@ func TestConformanceAllWorkloadsAllEngines(t *testing.T) {
 			}
 		}
 	}
-	// 6 CONGEST-level workloads × 3 engines + the native beeping MIS.
-	if want := 6*3 + 1; pairs != want {
+	// 7 CONGEST-level workloads × 3 engines + the native beeping MIS and
+	// broadcast.
+	if want := 7*3 + 2; pairs != want {
 		t.Errorf("conformance covered %d engine/workload pairs, want %d", pairs, want)
 	}
 }
@@ -99,7 +100,7 @@ func TestSupportsMatrix(t *testing.T) {
 				t.Errorf("Supports(%q, %q) = false, want true", en, wn)
 			}
 		}
-		want := wn == sim.WorkloadMIS // the only native beeping implementation
+		want := wn == sim.WorkloadMIS || wn == sim.WorkloadBroadcast // the native beeping implementations
 		if got := sim.Supports(sim.EngineBeep, wn); got != want {
 			t.Errorf("Supports(beep, %q) = %v, want %v", wn, got, want)
 		}

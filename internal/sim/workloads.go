@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/algorithms/bfstree"
+	"repro/internal/algorithms/broadcast"
 	"repro/internal/algorithms/coloring"
 	"repro/internal/algorithms/gossip"
 	"repro/internal/algorithms/leader"
@@ -20,6 +21,7 @@ func init() {
 	RegisterWorkload(leaderWorkload{})
 	RegisterWorkload(matchingWorkload{})
 	RegisterWorkload(bfstreeWorkload{})
+	RegisterWorkload(broadcastWorkload{})
 }
 
 // bfsRoot is the fixed BFS source: node 0 exists in every graph, so the
@@ -179,4 +181,47 @@ func (bfstreeWorkload) Verify(g *graph.Graph, outputs []any) error {
 		res[v] = r
 	}
 	return bfstree.Verify(g, bfsRoot, res)
+}
+
+// broadcastWorkload: single-source payload flooding from node 0 — the
+// §1.2 broadcast primitive. The CONGEST side floods the canonical payload
+// for n rounds; the native beeping side runs the O(D + b) wave protocol
+// through the sparse active-set driver, which is what makes the workload
+// usable in the million-node regime.
+type broadcastWorkload struct{}
+
+func (broadcastWorkload) Name() string               { return WorkloadBroadcast }
+func (broadcastWorkload) MsgBits(g *graph.Graph) int { return broadcast.MsgBits(g.N()) }
+func (broadcastWorkload) UsesRounds() bool           { return false }
+
+func (broadcastWorkload) Budget(g *graph.Graph, rounds int) int { return g.N() + 1 }
+
+func (broadcastWorkload) Algs(g *graph.Graph, rounds int) []congest.BroadcastAlgorithm {
+	return broadcast.New(g.N(), bfsRoot, g.N())
+}
+
+func (broadcastWorkload) Verify(g *graph.Graph, outputs []any) error {
+	payloads := make([][]byte, len(outputs))
+	for v, o := range outputs {
+		p, ok := o.([]byte)
+		if !ok {
+			return &OutputTypeError{Workload: WorkloadBroadcast, Node: v, Want: "[]byte", Got: o}
+		}
+		payloads[v] = p
+	}
+	return broadcast.Verify(g, bfsRoot, payloads)
+}
+
+func (broadcastWorkload) RunBeep(g *graph.Graph, seed uint64) (*core.Result, error) {
+	n := g.N()
+	out, rounds, err := beepalgs.RunWaveBroadcastOpts(g, bfsRoot, broadcast.Payload(n),
+		broadcast.PayloadBits(n), 0, seed, beepalgs.WaveOptions{EarlyStop: true, Sparse: true})
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]any, n)
+	for v, p := range out {
+		outs[v] = p
+	}
+	return &core.Result{BeepRounds: rounds, AllDone: true, Outputs: outs}, nil
 }

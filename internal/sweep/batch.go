@@ -27,6 +27,10 @@ type Options struct {
 	// By the determinism contract, no setting changes any record.
 	Workers int
 	Shards  int
+	// GenWorkers shards graph generation for the streaming families
+	// (ExecOptions.GenWorkers): 0 or 1 = serial, negative = one per CPU.
+	// Byte-invisible in every record, like the other parallelism knobs.
+	GenWorkers int
 	// Artifacts is the batch's shared artifact cache (graphs + code
 	// tables); nil makes Run create a fresh one, so a batch always
 	// builds each graph and code table once. Like the parallelism knobs
@@ -153,7 +157,7 @@ func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, erro
 	if artifacts == nil {
 		artifacts = sim.NewCache()
 	}
-	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, Artifacts: artifacts, Metrics: opt.Metrics, MaxRoundsFactor: opt.MaxRoundsFactor}
+	execOpt := ExecOptions{Workers: workers, Shards: opt.Shards, GenWorkers: opt.GenWorkers, Artifacts: artifacts, Metrics: opt.Metrics, MaxRoundsFactor: opt.MaxRoundsFactor}
 	bm := newBatchMetrics(opt.Metrics, artifacts)
 
 	// Duplicate specs inside one batch run once: the first index with a

@@ -23,6 +23,11 @@ type ExecOptions struct {
 	// engine.AutoWorkers = one per CPU.
 	Workers int
 	Shards  int
+	// GenWorkers shards graph generation for the streaming families
+	// (Scenario.BuildGraphWorkers): 0 or 1 = serial, negative = one per
+	// CPU. The built graph — and therefore the record — is byte-identical
+	// for every value.
+	GenWorkers int
 	// Artifacts, when non-nil, shares graphs and code tables across
 	// Execute calls (the batch scheduler passes one cache per batch).
 	// Cached artifacts are pure functions of their keys, so records are
@@ -52,6 +57,7 @@ type execMetrics struct {
 	buildT *obs.Timer
 	runT   *obs.Timer
 	lanes  *obs.Histogram
+	gBytes *obs.Gauge
 }
 
 func newExecMetrics(reg *obs.Registry) execMetrics {
@@ -62,6 +68,7 @@ func newExecMetrics(reg *obs.Registry) execMetrics {
 		buildT: reg.Timer("sweep.exec.build_nanos"),
 		runT:   reg.Timer("sweep.exec.run_nanos"),
 		lanes:  reg.Histogram("sweep.exec.sliced_lanes"),
+		gBytes: reg.Gauge("sweep.graph.bytes"),
 	}
 }
 
@@ -86,7 +93,7 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	}
 
 	buildStart := time.Now()
-	g, err := sc.buildGraphCached(opt.Artifacts)
+	g, err := sc.buildGraphCached(opt.Artifacts, opt.GenWorkers)
 	if err != nil {
 		return Record{}, fmt.Errorf("sweep: %s: build graph: %w", sc.Hash(), err)
 	}
@@ -129,6 +136,7 @@ func Execute(sc Scenario, opt ExecOptions) (Record, error) {
 	rec.BuildNanos = time.Since(buildStart).Nanoseconds()
 	em := newExecMetrics(opt.Metrics)
 	em.buildT.Observe(time.Duration(rec.BuildNanos))
+	em.gBytes.Set(g.Bytes())
 	start := time.Now()
 	res, extras, err := inst.Run(algs, budget)
 	if err != nil {
@@ -229,7 +237,7 @@ func sliceKey(sc Scenario) Scenario {
 // graphSeedMatters reports whether BuildGraph consumes GraphSeed.
 func graphSeedMatters(family string) bool {
 	switch family {
-	case FamilyRegular, FamilyBounded:
+	case FamilyRegular, FamilyBounded, FamilyGeo:
 		return true
 	}
 	return false
@@ -283,7 +291,7 @@ func executeSliced(scs []Scenario, hashes []string, opt ExecOptions) ([]Record, 
 	}
 
 	buildStart := time.Now()
-	g, err := scs[0].buildGraphCached(opt.Artifacts)
+	g, err := scs[0].buildGraphCached(opt.Artifacts, opt.GenWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %s: build graph: %w", scs[0].Hash(), err)
 	}

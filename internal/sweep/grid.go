@@ -108,6 +108,12 @@ func (g Grid) Expand() ([]Scenario, error) {
 			if derivedN(fam) {
 				famNs = []int{0}
 			}
+			famParams := params
+			if fam == FamilyGeo {
+				// Geo is parameterless (Scenario contract: Param = 0), so
+				// the Params axis collapses for it.
+				famParams = []int{0}
+			}
 			for _, eng := range engines {
 				if !Supports(eng, wl) {
 					continue
@@ -115,7 +121,7 @@ func (g Grid) Expand() ([]Scenario, error) {
 				native := sim.IsNative(eng)
 				for _, noiseSpec := range noises {
 					for _, n := range famNs {
-						for _, param := range params {
+						for _, param := range famParams {
 							for _, gridEps := range epsilons {
 								// Native engines have no beeping channel to
 								// perturb: they ignore ε, the channel seed,

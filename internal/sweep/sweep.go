@@ -47,6 +47,10 @@ const (
 	FamilyHypercube = "hypercube" // Param-dimensional hypercube; N is derived
 	FamilyHard      = "hard"      // Lemma 14 hard instance on N nodes
 	FamilyComplete  = "complete"  // K_N
+	// FamilyGeo is the jittered-lattice random geometric graph on N ≥ 17
+	// nodes (graph.GeometricCells): connected for every seed, Δ ≤ 24, and
+	// built by the streaming sharded generator — the million-node family.
+	FamilyGeo = "geo"
 )
 
 // Engines a Scenario can run on: the internal/sim engine registry,
@@ -67,6 +71,9 @@ const (
 	WorkloadLeader   = sim.WorkloadLeader   // max-ID leader election by flooding
 	WorkloadMatching = sim.WorkloadMatching // the paper's §6 maximal matching
 	WorkloadBFSTree  = sim.WorkloadBFSTree  // BFS tree from node 0
+	// WorkloadBroadcast is single-source payload flooding from node 0,
+	// run natively as the sparse O(D + b) beep wave.
+	WorkloadBroadcast = sim.WorkloadBroadcast
 )
 
 // Scenario is one fully-specified run: the declarative unit the sweep
@@ -146,6 +153,13 @@ func (sc Scenario) Validate() error {
 		if sc.N < 2 {
 			return fmt.Errorf("sweep: family %q needs N ≥ 2, got %d", sc.Family, sc.N)
 		}
+	case FamilyGeo:
+		if sc.N < 17 {
+			return fmt.Errorf("sweep: family %q needs N ≥ 17 (lattice side ≥ 5), got %d", sc.Family, sc.N)
+		}
+		if sc.Param != 0 {
+			return fmt.Errorf("sweep: family %q has no parameter; set Param = 0, got %d", sc.Family, sc.Param)
+		}
 	case FamilyPG, FamilyGrid, FamilyHypercube:
 		if sc.Param < 1 {
 			return fmt.Errorf("sweep: family %q needs Param ≥ 1, got %d", sc.Family, sc.Param)
@@ -215,20 +229,29 @@ func (sc Scenario) Hash() string {
 	return hex.EncodeToString(sum[:16])
 }
 
-// buildGraphCached is BuildGraph through the batch artifact cache: the
-// graph is a pure function of (Family, N, Param, GraphSeed) — exactly a
-// sim.GraphKey — so scenarios differing only in other axes share one
-// instance. A nil cache builds directly.
-func (sc Scenario) buildGraphCached(cache *sim.Cache) (*graph.Graph, error) {
+// buildGraphCached is BuildGraphWorkers through the batch artifact cache:
+// the graph is a pure function of (Family, N, Param, GraphSeed) — exactly
+// a sim.GraphKey, with the worker count byte-invisible by the streaming
+// builder's contract — so scenarios differing only in other axes share
+// one instance. A nil cache builds directly.
+func (sc Scenario) buildGraphCached(cache *sim.Cache, genWorkers int) (*graph.Graph, error) {
 	return cache.Graph(
 		sim.GraphKey{Family: sc.Family, N: sc.N, Param: sc.Param, Seed: sc.GraphSeed},
-		sc.BuildGraph,
+		func() (*graph.Graph, error) { return sc.BuildGraphWorkers(genWorkers) },
 	)
 }
 
 // BuildGraph constructs the scenario's graph from Family, N, Param, and
-// GraphSeed alone.
-func (sc Scenario) BuildGraph() (*graph.Graph, error) {
+// GraphSeed alone, serially.
+func (sc Scenario) BuildGraph() (*graph.Graph, error) { return sc.BuildGraphWorkers(1) }
+
+// BuildGraphWorkers is BuildGraph with a generation worker count for the
+// streaming (row-function) families — grid, hypercube, hard, complete,
+// geo. The built graph is byte-identical for every worker count (0 or 1
+// serial, negative = one per CPU); the edge-list families (regular,
+// bounded, pg) draw from a sequential stream and always build serially.
+func (sc Scenario) BuildGraphWorkers(workers int) (*graph.Graph, error) {
+	opt := graph.BuildOptions{Workers: workers}
 	switch sc.Family {
 	case FamilyRegular:
 		// Δ-regular when realizable, bounded-degree otherwise — the same
@@ -243,13 +266,18 @@ func (sc Scenario) BuildGraph() (*graph.Graph, error) {
 	case FamilyPG:
 		return graph.ProjectivePlaneIncidence(sc.Param)
 	case FamilyGrid:
-		return graph.Grid(sc.Param, sc.Param), nil
+		return graph.FromRowFunc(sc.Param*sc.Param, graph.GridRows(sc.Param, sc.Param), opt)
 	case FamilyHypercube:
-		return graph.Hypercube(sc.Param), nil
+		return graph.FromRowFunc(1<<uint(sc.Param), graph.HypercubeRows(sc.Param), opt)
 	case FamilyHard:
-		return graph.HardInstance(sc.N, sc.Param)
+		if sc.Param < 1 || 2*sc.Param > sc.N {
+			return nil, fmt.Errorf("graph: hard instance needs 1 <= Δ and 2Δ <= n, got n=%d Δ=%d", sc.N, sc.Param)
+		}
+		return graph.FromRowFunc(sc.N, graph.HardInstanceRows(sc.N, sc.Param), opt)
 	case FamilyComplete:
-		return graph.Complete(sc.N), nil
+		return graph.FromRowFunc(sc.N, graph.CompleteRows(sc.N), opt)
+	case FamilyGeo:
+		return graph.GeometricCells(sc.N, sc.GraphSeed, opt)
 	}
 	return nil, fmt.Errorf("sweep: unknown family %q", sc.Family)
 }

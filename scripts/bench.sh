@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 benchtime="${1:-10x}"
 out="${2:-bench.json}"
-pattern='^(BenchmarkT[0-9]+|BenchmarkA[123]|BenchmarkEngine10kRandom|BenchmarkEngineHardInstance|BenchmarkRunPhase10k|BenchmarkSweepGrid64|BenchmarkSweepReplicateHeavy|BenchmarkObs)'
+pattern='^(BenchmarkT[0-9]+|BenchmarkA[123]|BenchmarkEngine10kRandom|BenchmarkEngineHardInstance|BenchmarkRunPhase10k|BenchmarkSweepGrid64|BenchmarkSweepReplicateHeavy|BenchmarkLargeSparse|BenchmarkObs)'
 
 raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -timeout 60m . ./internal/obs/)"
 printf '%s\n' "$raw" >&2
