@@ -103,10 +103,25 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "collect telemetry and print a metrics table to stderr (with -store, also write <store>.telemetry.jsonl)")
 		telemetry  = flag.String("telemetry", "", "serve live introspection (metrics, progress, pprof) on ADDR for the run's duration; implies -metrics collection")
 		frontier   = flag.Bool("frontier", false, "resilience-frontier mode: treat each scenario's adversary budget as a ceiling and bisect for the minimal breaking budget")
+		compact    = flag.Bool("compact", false, "compact the -store file (drop torn/duplicate/invalid lines, rebuild the sidecar index), print what was reclaimed, and exit")
 		strict     = flag.Bool("strict", false, "exit non-zero when any record has a failure or output_ok=false")
 		maxRF      = flag.Float64("maxroundsfactor", 0, "cap engine round budgets at this multiple of the workload budget (0 = uncapped); changes records — hold constant per store")
 	)
 	flag.Parse()
+
+	if *compact {
+		if *storePath == "" {
+			fatal(fmt.Errorf("-compact needs -store"))
+		}
+		cs, err := sweep.Compact(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sweep: compacted %s: dropped %d line(s) (%d invalid, %d duplicate), reclaimed %d bytes (%d -> %d), index %s\n",
+			*storePath, cs.DroppedInvalid+cs.DroppedDuplicate, cs.DroppedInvalid, cs.DroppedDuplicate,
+			cs.Reclaimed, cs.BytesIn, cs.BytesOut, sweep.IndexPath(*storePath))
+		return
+	}
 
 	grid := sweep.Grid{
 		Families:   splitList(*families),

@@ -1,0 +1,408 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// testGrid is the e2e grid: small enough to run in seconds, wide enough
+// to cross engines and workloads (8 scenarios). mis carries an output
+// validity check (output_ok lands on its records); noisy gossip is
+// unverified by design (output_ok nil).
+const testGrid = `{"families":["regular"],"ns":[14],"params":[3],"epsilons":[0.1],"engines":["alg1","tdma"],"workloads":["gossip","mis"],"rounds":2,"replicates":2,"base_seed":2023}`
+
+func testScenarios(t *testing.T) []sweep.Scenario {
+	t.Helper()
+	var gr gridRequest
+	if err := json.Unmarshal([]byte(testGrid), &gr); err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := gr.grid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scenarios
+}
+
+// newTestDaemon assembles the full sweepd stack — indexed store,
+// service, HTTP surface — on an httptest listener.
+func newTestDaemon(t *testing.T, opts sweep.ServiceOptions) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	store, err := sweep.OpenIndexed(filepath.Join(t.TempDir(), "store.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	if opts.Artifacts == nil {
+		opts.Artifacts = sim.NewCache()
+	}
+	svc := sweep.NewService(store, opts)
+	ts := httptest.NewServer(newServer(store, svc, reg))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+		store.Close()
+	})
+	return ts, reg
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// submitGrid posts body to /grids and returns the decoded handle.
+func submitGrid(t *testing.T, base, body string) submitResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/grids", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /grids: %s: %s", resp.Status, b)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// waitJob polls the job status endpoint until Complete.
+func waitJob(t *testing.T, base, statusPath string) sweep.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var st sweep.JobStatus
+		getJSON(t, base+statusPath, &st)
+		if st.Complete {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not complete: %+v", statusPath, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// metric reads one counter from the /metrics snapshot.
+func metric(t *testing.T, base, name string) int64 {
+	t.Helper()
+	var snap []obs.Metric
+	getJSON(t, base+"/metrics", &snap)
+	for _, m := range snap {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// decodeRecords parses a JSONL body of records, revalidating hashes.
+func decodeRecords(t *testing.T, r io.Reader) []sweep.Record {
+	t.Helper()
+	var recs []sweep.Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		rec, err := sweep.DecodeRecord(sc.Bytes())
+		if err != nil {
+			t.Fatalf("bad record line: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// canonLine is the repo's byte-identity form: timing fields zeroed.
+func canonLine(t *testing.T, rec sweep.Record) []byte {
+	t.Helper()
+	rec.WallNanos, rec.BuildNanos = 0, 0
+	var buf bytes.Buffer
+	if err := sweep.EncodeJSONL(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepdEndToEnd drives the full HTTP surface: submit a grid, poll
+// to completion, and require the served records byte-identical to a
+// cmd/sweep-style batch Run over the same scenarios; then point reads,
+// the aggregate, and a full-cache-hit resubmission with zero new
+// executions.
+func TestSweepdEndToEnd(t *testing.T) {
+	ts, _ := newTestDaemon(t, sweep.ServiceOptions{Jobs: 2})
+	base := ts.URL
+
+	// The reference: the batch path over the same scenarios.
+	refStore, err := sweep.Open(filepath.Join(t.TempDir(), "ref.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	want, _, err := sweep.Run(testScenarios(t), refStore, sweep.Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sr := submitGrid(t, base, testGrid)
+	if sr.Total != len(want) {
+		t.Fatalf("submitted total=%d, want %d", sr.Total, len(want))
+	}
+	st := waitJob(t, base, sr.Status)
+	if st.Failed != 0 || st.Done != st.Total {
+		t.Fatalf("job finished unhealthy: %+v", st)
+	}
+
+	// Byte identity, slot for slot, HTTP against batch.
+	resp, err := http.Get(base + sr.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeRecords(t, resp.Body)
+	resp.Body.Close()
+	if len(got) != len(want) {
+		t.Fatalf("served %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if g, w := canonLine(t, got[i]), canonLine(t, want[i]); !bytes.Equal(g, w) {
+			t.Fatalf("slot %d differs between sweepd and batch:\n http: %s\n  run: %s", i, g, w)
+		}
+	}
+	verified := 0
+	for _, rec := range got {
+		if rec.Counters.OutputOK != nil {
+			if !*rec.Counters.OutputOK {
+				t.Fatalf("record %s failed output verification", rec.Hash)
+			}
+			verified++
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no record carried an output verification")
+	}
+
+	// Point read by hash, and a miss.
+	var one sweep.Record
+	getJSON(t, base+"/records/"+want[0].Hash, &one)
+	if !bytes.Equal(canonLine(t, one), canonLine(t, want[0])) {
+		t.Fatal("point read differs")
+	}
+	if resp, err := http.Get(base + "/records/deadbeef"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing hash: %s, want 404", resp.Status)
+	}
+
+	// The store-wide streams.
+	if resp, err := http.Get(base + "/records"); err != nil {
+		t.Fatal(err)
+	} else {
+		all := decodeRecords(t, resp.Body)
+		resp.Body.Close()
+		if len(all) != len(want) {
+			t.Fatalf("/records served %d, want %d", len(all), len(want))
+		}
+	}
+	var groups []sweep.Group
+	getJSON(t, base+"/aggregate", &groups)
+	if len(groups) == 0 {
+		t.Fatal("/aggregate served no groups")
+	}
+
+	// The event feed replays in full after completion.
+	if resp, err := http.Get(base + sr.Events); err != nil {
+		t.Fatal(err)
+	} else {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if lines := bytes.Count(body, []byte("\n")); lines != st.Total {
+			t.Fatalf("event replay has %d lines, want %d", lines, st.Total)
+		}
+	}
+
+	// Resubmission: a full cache hit — zero new executions, all slots
+	// cached, byte-identical records again.
+	execsBefore := metric(t, base, "sweep.service.executions")
+	sr2 := submitGrid(t, base, testGrid)
+	st2 := waitJob(t, base, sr2.Status)
+	if st2.Cached != st2.Total || st2.Ran != 0 {
+		t.Fatalf("resubmission not fully cached: %+v", st2)
+	}
+	if execsAfter := metric(t, base, "sweep.service.executions"); execsAfter != execsBefore {
+		t.Fatalf("resubmission executed: %d -> %d", execsBefore, execsAfter)
+	}
+
+	var jobs map[string][]string
+	getJSON(t, base+"/jobs", &jobs)
+	if len(jobs["jobs"]) != 2 {
+		t.Fatalf("job listing: %v", jobs)
+	}
+}
+
+// waitForFlightWaiter polls goroutine stacks until two goroutines sit
+// inside FlightGroup.Do — the owner (blocked in the test's ExecuteFunc)
+// plus one waiter — so a release at that point deterministically
+// exercises the share path.
+func waitForFlightWaiter(t *testing.T) {
+	t.Helper()
+	buf := make([]byte, 1<<22)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		if strings.Count(stacks, "FlightGroup") >= 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second submission never joined the flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepdConcurrentSubmissionsSingleflight is the acceptance
+// scenario: two concurrent submissions of the same grid execute each
+// scenario exactly once, asserted via the obs dedup counter. The
+// execution is blocked (injected ExecuteFunc) until the second
+// submission has provably joined the in-flight execution.
+func TestSweepdConcurrentSubmissionsSingleflight(t *testing.T) {
+	oneScenario := `{"families":["regular"],"ns":[14],"params":[3],"epsilons":[0.1],"engines":["alg1"],"workloads":["gossip"],"rounds":2,"replicates":1,"base_seed":2023}`
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	ts, reg := newTestDaemon(t, sweep.ServiceOptions{
+		Jobs: 2,
+		ExecuteFunc: func(sc sweep.Scenario, _ sweep.ExecOptions) (sweep.Record, error) {
+			started <- struct{}{}
+			<-release
+			return sweep.Record{Hash: sc.Hash(), Spec: sc}, nil
+		},
+	})
+	base := ts.URL
+
+	sr1 := submitGrid(t, base, oneScenario)
+	<-started // the one execution is in flight and blocked
+	sr2 := submitGrid(t, base, oneScenario)
+	waitForFlightWaiter(t)
+	close(release)
+
+	st1, st2 := waitJob(t, base, sr1.Status), waitJob(t, base, sr2.Status)
+	if st1.Ran+st2.Ran != 1 || st1.Cached+st2.Cached != 1 {
+		t.Fatalf("exactly-once violated: job1=%+v job2=%+v", st1, st2)
+	}
+	if n := reg.Counter("sweep.service.executions").Value(); n != 1 {
+		t.Fatalf("executions=%d, want exactly 1", n)
+	}
+	if n := reg.Counter("sweep.service.singleflight_hits").Value(); n != 1 {
+		t.Fatalf("singleflight_hits=%d, want 1", n)
+	}
+	if len(started) != 0 {
+		t.Fatal("a second execution started")
+	}
+}
+
+// TestSweepdBackpressureAndErrors covers the failure surface: 429 under
+// backpressure, 400 on bad grids, 404 on unknown jobs, 409 reading
+// records of a running job.
+func TestSweepdBackpressureAndErrors(t *testing.T) {
+	release := make(chan struct{})
+	ts, _ := newTestDaemon(t, sweep.ServiceOptions{
+		Jobs: 1, MaxPending: 1,
+		ExecuteFunc: func(sc sweep.Scenario, _ sweep.ExecOptions) (sweep.Record, error) {
+			<-release
+			return sweep.Record{Hash: sc.Hash(), Spec: sc}, nil
+		},
+	})
+	base := ts.URL
+	oneScenario := `{"families":["regular"],"ns":[14],"params":[3],"epsilons":[0.1],"engines":["alg1"],"workloads":["gossip"],"rounds":2,"replicates":1,"base_seed":2023}`
+	otherScenario := strings.Replace(oneScenario, `"base_seed":2023`, `"base_seed":2024`, 1)
+
+	sr := submitGrid(t, base, oneScenario)
+
+	// Queue full: the next submission bounces with 429.
+	resp, err := http.Post(base+"/grids", "application/json", strings.NewReader(otherScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: %s, want 429", resp.Status)
+	}
+
+	// Records of a running job: 409.
+	resp, err = http.Get(base + sr.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("running-job records: %s, want 409", resp.Status)
+	}
+
+	// Bad grid bodies: 400.
+	for _, body := range []string{`{"families":["nope"]}`, `{"unknown_field":1}`, `not json`} {
+		resp, err := http.Post(base+"/grids", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad grid %q: %s, want 400", body, resp.Status)
+		}
+	}
+
+	// Unknown job: 404.
+	resp, err = http.Get(base + "/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %s, want 404", resp.Status)
+	}
+
+	close(release)
+	waitJob(t, base, sr.Status)
+}
+
+// TestSweepdHealthz: liveness endpoint.
+func TestSweepdHealthz(t *testing.T) {
+	ts, _ := newTestDaemon(t, sweep.ServiceOptions{Jobs: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %s %q", resp.Status, body)
+	}
+}

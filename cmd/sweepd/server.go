@@ -1,0 +1,322 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// server is the sweepd HTTP surface over one StoreEngine and one
+// long-lived sweep.Service. All endpoints are JSON; list-shaped
+// responses are JSONL so they stream.
+//
+//	GET  /healthz             liveness
+//	GET  /records             every stored record (JSONL)
+//	GET  /records/{hash}      one record by content hash
+//	GET  /aggregate           sweep.Aggregate over the whole store
+//	POST /grids               submit a grid (JSON body) -> job handle
+//	GET  /jobs/{id}           job progress snapshot
+//	GET  /jobs/{id}/events    streaming progress (NDJSON, one line/event)
+//	GET  /jobs/{id}/records   completed job records (JSONL)
+//	GET  /metrics, /progress, /debug/...   obs.Handler plumbing
+type server struct {
+	store    sweep.StoreEngine
+	svc      *sweep.Service
+	progress *obs.Progress
+	mux      *http.ServeMux
+
+	mu    sync.Mutex
+	feeds map[string]*jobFeed
+}
+
+// newServer wires the HTTP surface. reg may be nil (telemetry off —
+// /metrics then serves an empty snapshot, the obs nil contract).
+func newServer(store sweep.StoreEngine, svc *sweep.Service, reg *obs.Registry) *server {
+	s := &server{store: store, svc: svc, progress: obs.NewProgress(0), mux: http.NewServeMux(), feeds: make(map[string]*jobFeed)}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /records", s.handleRecords)
+	s.mux.HandleFunc("GET /records/{hash}", s.handleRecord)
+	s.mux.HandleFunc("GET /aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /grids", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/records", s.handleJobRecords)
+	s.mux.HandleFunc("GET /jobs", s.handleJobs)
+	// The telemetry plumbing rides the same listener: the obs endpoints
+	// are one mountable handler shared with the -telemetry CLIs.
+	obsHandler := obs.Handler(reg, s.progress)
+	s.mux.Handle("GET /metrics", obsHandler)
+	s.mux.Handle("GET /progress", obsHandler)
+	s.mux.Handle("GET /debug/", obsHandler)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleRecords streams every stored record as JSONL, first-seen order.
+func (s *server) handleRecords(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, rec := range s.store.Records() {
+		if err := sweep.EncodeJSONL(w, rec); err != nil {
+			return // client went away
+		}
+	}
+}
+
+// handleRecord serves one record by content hash: the interactive-read
+// path, a single index lookup plus (for the indexed engine) one seek.
+func (s *server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	rec, ok := s.store.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no record for hash %q", hash))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleAggregate serves the group-by aggregation of the whole store.
+func (s *server) handleAggregate(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sweep.Aggregate(s.store.Records()))
+}
+
+// gridRequest is the POST /grids body: sweep.Grid's axes in JSON
+// clothing. Axis defaults match Grid.Expand.
+type gridRequest struct {
+	Families   []string  `json:"families,omitempty"`
+	Ns         []int     `json:"ns,omitempty"`
+	Params     []int     `json:"params,omitempty"`
+	Epsilons   []float64 `json:"epsilons,omitempty"`
+	Engines    []string  `json:"engines,omitempty"`
+	Workloads  []string  `json:"workloads,omitempty"`
+	Noises     []string  `json:"noises,omitempty"`
+	Rounds     int       `json:"rounds,omitempty"`
+	MsgBits    int       `json:"msg_bits,omitempty"`
+	Replicates int       `json:"replicates,omitempty"`
+	BaseSeed   uint64    `json:"base_seed,omitempty"`
+}
+
+func (gr gridRequest) grid() sweep.Grid {
+	return sweep.Grid{
+		Families: gr.Families, Ns: gr.Ns, Params: gr.Params, Epsilons: gr.Epsilons,
+		Engines: gr.Engines, Workloads: gr.Workloads, Noises: gr.Noises,
+		Rounds: gr.Rounds, MsgBits: gr.MsgBits, Replicates: gr.Replicates, BaseSeed: gr.BaseSeed,
+	}
+}
+
+// submitResponse is the POST /grids reply: the job handle and where to
+// follow it.
+type submitResponse struct {
+	Job     string `json:"job"`
+	Total   int    `json:"total"`
+	Unique  int    `json:"unique"`
+	Status  string `json:"status"`
+	Events  string `json:"events"`
+	Records string `json:"records"`
+}
+
+// handleSubmit expands a grid and submits it to the service: 202 with a
+// job handle, 400 on a bad grid, 429 under backpressure.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var gr gridRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&gr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad grid body: %w", err))
+		return
+	}
+	scenarios, err := gr.grid().Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.svc.Submit(scenarios)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, sweep.ErrBackpressure) {
+			status = http.StatusTooManyRequests
+		} else if errors.Is(err, sweep.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.progress.Expect(len(scenarios))
+	// The server — not any one HTTP subscriber — drains the job's event
+	// channel into a replayable per-job feed, so any number of /events
+	// streams can follow the job (each from the start) and the global
+	// /progress tracker advances whether or not anyone is watching.
+	feed := newJobFeed()
+	s.mu.Lock()
+	s.feeds[job.ID()] = feed
+	s.mu.Unlock()
+	go func() {
+		for ev := range job.Events() {
+			s.progress.Observe(ev.Cached, ev.Err != nil)
+			je := jobEvent{Index: ev.Index, Done: ev.Done, Total: ev.Total, Cached: ev.Cached, Hash: ev.Record.Hash}
+			if ev.Err != nil {
+				je.Error = ev.Err.Error()
+			}
+			feed.append(je)
+		}
+		feed.finish()
+	}()
+	st := job.Status()
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		Job: job.ID(), Total: st.Total, Unique: st.Unique, Status: "/jobs/" + job.ID(),
+		Events: "/jobs/" + job.ID() + "/events", Records: "/jobs/" + job.ID() + "/records",
+	})
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*sweep.Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.svc.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+	}
+	return job, ok
+}
+
+// handleJob serves a progress snapshot: the polling path.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleJobs lists accepted job IDs in submission order.
+func (s *server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"jobs": s.svc.JobIDs()})
+}
+
+// jobEvent is one NDJSON progress line on /jobs/{id}/events.
+type jobEvent struct {
+	Index  int    `json:"index"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Cached bool   `json:"cached"`
+	Hash   string `json:"hash,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// jobFeed is a replayable event log: the server appends as the job
+// progresses, any number of subscribers read from any position, and a
+// condition broadcast wakes blocked readers on every append (and on
+// subscriber cancellation, via context.AfterFunc).
+type jobFeed struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	lines []jobEvent
+	done  bool
+}
+
+func newJobFeed() *jobFeed {
+	f := &jobFeed{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *jobFeed) append(ev jobEvent) {
+	f.mu.Lock()
+	f.lines = append(f.lines, ev)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+func (f *jobFeed) finish() {
+	f.mu.Lock()
+	f.done = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// next blocks until line i exists, the feed is complete, or cancelled
+// reports true; ok is false when no line i will ever exist.
+func (f *jobFeed) next(i int, cancelled func() bool) (jobEvent, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if i < len(f.lines) {
+			return f.lines[i], true
+		}
+		if f.done || cancelled() {
+			return jobEvent{}, false
+		}
+		f.cond.Wait()
+	}
+}
+
+// handleJobEvents streams the job's progress as NDJSON, one line per
+// completed scenario, flushed as it lands, until the job finishes (or
+// the client disconnects). Every subscriber replays from the start —
+// the feed is a log, not a queue.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	feed := s.feeds[job.ID()]
+	s.mu.Unlock()
+	if feed == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no event feed for job %q", job.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, feed.cond.Broadcast)
+	defer stop()
+	for i := 0; ; i++ {
+		ev, ok := feed.next(i, func() bool { return ctx.Err() != nil })
+		if !ok {
+			return
+		}
+		if err := sweep.EncodeJSONL(w, ev); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleJobRecords serves a completed job's records as JSONL, indexed
+// like the submission; 409 while the job is still running.
+func (s *server) handleJobRecords(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := job.Status()
+	if !st.Complete {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s still running (%d/%d)", st.ID, st.Done, st.Total))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, rec := range job.Records() {
+		if err := sweep.EncodeJSONL(w, rec); err != nil {
+			return
+		}
+	}
+}

@@ -28,6 +28,16 @@ func NewProgress(total int) *Progress {
 	return p
 }
 
+// Expect raises the expected completion total by n: the long-lived
+// service shape (cmd/sweepd), where submissions keep arriving after the
+// tracker is built. No-op on nil.
+func (p *Progress) Expect(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
 // Observe records one scenario completion; no-op on nil.
 func (p *Progress) Observe(cached, failed bool) {
 	if p == nil {
@@ -86,15 +96,14 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve starts the introspection server on addr (e.g. "localhost:6060";
-// ":0" picks a free port — read it back from Addr). progress may be
-// nil, in which case /progress serves zeros.
-func Serve(addr string, reg *Registry, progress *Progress) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: telemetry listener: %w", err)
-	}
-
+// Handler returns the introspection endpoints as a mountable
+// http.Handler: /metrics (registry snapshot JSON), /progress (live
+// progress), /debug/vars (expvar), and /debug/pprof/*. Serve binds it
+// to a private listener for the CLIs; cmd/sweepd mounts the same
+// handler inside its own mux so one server exposes both the sweep API
+// and the telemetry plumbing. progress may be nil, in which case
+// /progress serves zeros.
+func Handler(reg *Registry, progress *Progress) http.Handler {
 	expvarOnce.Do(func() {
 		expvar.Publish("telemetry", expvar.Func(func() any {
 			return expvarReg.Load().Snapshot()
@@ -124,8 +133,18 @@ func Serve(addr string, reg *Registry, progress *Progress) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+// Serve starts the introspection server on addr (e.g. "localhost:6060";
+// ":0" picks a free port — read it back from Addr). progress may be
+// nil, in which case /progress serves zeros.
+func Serve(addr string, reg *Registry, progress *Progress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listener: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, progress)}}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil
 }

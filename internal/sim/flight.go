@@ -1,0 +1,76 @@
+package sim
+
+import "sync"
+
+// FlightGroup is keyed request-level singleflight: Do(key, fn) runs fn
+// at most once per key among concurrent callers — the first caller in
+// executes, every other caller with the same key blocks until that
+// execution finishes and receives the same value, flagged shared. Once
+// the execution completes the key is forgotten, so a later Do runs fn
+// again: unlike Cache (which memoizes pure artifacts for a batch's
+// lifetime), a FlightGroup dedupes only work that is literally in
+// flight. Persistence of completed results is the caller's business —
+// sweep's Service checks its store first and singleflights only store
+// misses, which generalizes Cache's per-entry sync.Once from the
+// artifact layer to the request layer: identical scenarios submitted by
+// concurrent requests execute exactly once, whichever request got there
+// first.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type FlightGroup[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done    chan struct{}
+	val     V
+	waiters int
+}
+
+// Do returns fn's result for key, executing fn itself only if no
+// execution for key is already in flight; otherwise it waits for the
+// in-flight one and returns its value with shared = true. fn must not
+// call Do on the same group with the same key (it would wait on
+// itself).
+func (g *FlightGroup[K, V]) Do(key K, fn func() V) (v V, shared bool) {
+	g.mu.Lock()
+	if fl, ok := g.m[key]; ok {
+		fl.waiters++
+		g.mu.Unlock()
+		<-fl.done
+		return fl.val, true
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	if g.m == nil {
+		g.m = make(map[K]*flight[V])
+	}
+	g.m[key] = fl
+	g.mu.Unlock()
+
+	fl.val = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+	return fl.val, false
+}
+
+// InFlight returns the number of executions currently in flight.
+func (g *FlightGroup[K, V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// Waiters returns how many callers are currently blocked on key's
+// in-flight execution (0 when key is not in flight). Tests use it to
+// pin dedup interleavings deterministically.
+func (g *FlightGroup[K, V]) Waiters(key K) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.m[key]; ok {
+		return fl.waiters
+	}
+	return 0
+}

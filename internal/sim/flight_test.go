@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupDedupes: N concurrent Do calls on one key run fn once;
+// exactly one caller owns the execution, the rest share its value.
+func TestFlightGroupDedupes(t *testing.T) {
+	var g FlightGroup[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	vals := make([]int, waiters)
+	owners := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared := g.Do("k", func() int {
+				calls.Add(1)
+				<-release // hold the flight open until all callers joined
+				return 42
+			})
+			vals[i], owners[i] = v, !shared
+		}(i)
+	}
+	// Wait for the flight to exist, then give the other goroutines time
+	// to pile onto it before releasing (the x/sync singleflight test
+	// pattern — fn blocks, so the flight cannot land early).
+	for g.InFlight() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	ownerN := 0
+	for i := 0; i < waiters; i++ {
+		if vals[i] != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, vals[i])
+		}
+		if owners[i] {
+			ownerN++
+		}
+	}
+	if ownerN != 1 {
+		t.Fatalf("%d callers report shared=false, want exactly 1", ownerN)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("flight not forgotten after completion: %d in flight", g.InFlight())
+	}
+}
+
+// TestFlightGroupForgetsAfterCompletion: unlike a cache, the group
+// holds nothing once a flight lands — a later Do on the same key runs
+// fn again (persistence is the store's job, not the flight group's).
+func TestFlightGroupForgetsAfterCompletion(t *testing.T) {
+	var g FlightGroup[string, int]
+	var calls atomic.Int32
+	fn := func() int { calls.Add(1); return int(calls.Load()) }
+	if v, shared := g.Do("k", fn); v != 1 || shared {
+		t.Fatalf("first Do: v=%d shared=%v", v, shared)
+	}
+	if v, shared := g.Do("k", fn); v != 2 || shared {
+		t.Fatalf("second Do: v=%d shared=%v, want a fresh run", v, shared)
+	}
+}
+
+// TestFlightGroupIndependentKeys: distinct keys fly independently and
+// concurrently.
+func TestFlightGroupIndependentKeys(t *testing.T) {
+	var g FlightGroup[int, int]
+	var wg sync.WaitGroup
+	var calls atomic.Int32
+	for k := 0; k < 16; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v, _ := g.Do(k, func() int { calls.Add(1); return k * k })
+			if v != k*k {
+				t.Errorf("key %d got %d", k, v)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 16 {
+		t.Fatalf("fn ran %d times, want 16 (one per key)", n)
+	}
+}

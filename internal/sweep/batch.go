@@ -131,12 +131,14 @@ func Summary(st Stats, cs sim.CacheStats) string {
 
 // Run executes scenarios through the store: cache hits are served
 // without engine work, misses are executed (at most Options.Jobs at a
-// time) and persisted. The returned slice is indexed like the input —
-// records[i] is scenarios[i]'s record regardless of completion order, so
-// batch output is deterministic even under concurrency. On scenario
-// failures Run keeps going, returns every successful record, and reports
-// the failures joined into one error (failed slots are zero Records).
-func Run(scenarios []Scenario, store *Store, opt Options) ([]Record, Stats, error) {
+// time) and persisted. Any StoreEngine serves — the in-memory Store or
+// the seek-lookup IndexedStore. The returned slice is indexed like the
+// input — records[i] is scenarios[i]'s record regardless of completion
+// order, so batch output is deterministic even under concurrency. On
+// scenario failures Run keeps going, returns every successful record,
+// and reports the failures joined into one error (failed slots are zero
+// Records).
+func Run(scenarios []Scenario, store StoreEngine, opt Options) ([]Record, Stats, error) {
 	start := time.Now()
 	jobs := opt.Jobs
 	if jobs <= 0 {

@@ -58,7 +58,7 @@ func (r FrontierResult) Unbroken() bool { return r.Breaking < 0 }
 // of Execute (failed output verification, unfinished nodes, or a
 // tripped round-budget guard). Scenarios must therefore use a workload
 // with an output-validity notion (not gossip, which is unverified).
-func FrontierSearch(scenarios []Scenario, store *Store, opt FrontierOptions) ([]FrontierResult, error) {
+func FrontierSearch(scenarios []Scenario, store StoreEngine, opt FrontierOptions) ([]FrontierResult, error) {
 	results := make([]FrontierResult, 0, len(scenarios))
 	for i, sc := range scenarios {
 		res, err := frontierOne(i, sc, store, opt)
@@ -70,7 +70,7 @@ func FrontierSearch(scenarios []Scenario, store *Store, opt FrontierOptions) ([]
 	return results, nil
 }
 
-func frontierOne(idx int, sc Scenario, store *Store, opt FrontierOptions) (FrontierResult, error) {
+func frontierOne(idx int, sc Scenario, store StoreEngine, opt FrontierOptions) (FrontierResult, error) {
 	if err := sc.Validate(); err != nil {
 		return FrontierResult{}, err
 	}

@@ -137,13 +137,23 @@ func (r Record) BeepsPerNodeRound() float64 {
 // output (sweep records, cmd/experiments -json tables), so downstream
 // consumers see one framing.
 func EncodeJSONL(w io.Writer, v any) error {
-	b, err := json.Marshal(v)
+	b, err := EncodeLine(v)
 	if err != nil {
-		return fmt.Errorf("sweep: encode: %w", err)
+		return err
 	}
-	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// EncodeLine returns v's JSONL framing — one JSON line including the
+// trailing newline — without writing it, so stores can encode outside
+// their critical sections and append the prebuilt bytes under the lock.
+func EncodeLine(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: encode: %w", err)
+	}
+	return append(b, '\n'), nil
 }
 
 // DecodeRecord parses one JSONL line and checks the stored hash against

@@ -1,0 +1,450 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Service is the long-lived scheduling layer: the batch scheduler's
+// execution semantics (store-first lookup, persisted misses, per-slot
+// deterministic records) lifted out of the one-shot Run call into a
+// resident worker pool that serves many concurrent submissions over one
+// store — the shape cmd/sweepd exposes over HTTP. Each Submit gets its
+// own Job with a private completion queue and a streaming event channel;
+// the scenarios of all jobs share the worker pool, the store, the
+// artifact cache, and one request-level singleflight group, so identical
+// scenarios submitted concurrently by different requests execute exactly
+// once (sim.FlightGroup — the artifact cache's per-entry sync.Once
+// generalized to the request layer).
+//
+// Records are byte-identical to Execute/Run output by the determinism
+// contract: the service changes scheduling only, never results.
+type Service struct {
+	store StoreEngine
+	exec  ExecOptions
+	// execute is Execute, injectable so tests can pin singleflight
+	// interleavings without real engine work.
+	execute func(Scenario, ExecOptions) (Record, error)
+
+	tasks   chan task
+	flights sim.FlightGroup[string, flightResult]
+	wg      sync.WaitGroup
+	m       serviceMetrics
+
+	mu         sync.Mutex
+	pending    int // queued + running tasks, bounded by maxPending
+	maxPending int
+	nextJob    int
+	jobs       map[string]*Job
+	closed     bool
+}
+
+// ServiceOptions configures a Service.
+type ServiceOptions struct {
+	// Jobs bounds concurrently executing scenarios (0 = one per CPU),
+	// exactly like Options.Jobs; Workers, Shards, and GenWorkers follow
+	// the same composition rule as the batch scheduler (auto Workers run
+	// serial per scenario when Jobs > 1).
+	Jobs, Workers, Shards, GenWorkers int
+	// MaxRoundsFactor forwards the round-budget guard (ExecOptions);
+	// like a spec axis, hold it constant over one store's lifetime.
+	MaxRoundsFactor float64
+	// MaxPending bounds queued-plus-running scenarios across all jobs
+	// (0 = DefaultMaxPending): the backpressure valve. A Submit that
+	// would exceed it fails fast with ErrBackpressure instead of growing
+	// an unbounded queue.
+	MaxPending int
+	// Artifacts shares graphs and code tables across the service's whole
+	// lifetime (nil = a fresh cache); Metrics receives the scheduler's
+	// observation-only instrumentation, including the singleflight dedup
+	// counter sweep.service.singleflight_hits.
+	Artifacts *sim.Cache
+	Metrics   *obs.Registry
+	// ExecuteFunc replaces Execute as the per-scenario runner (nil =
+	// Execute). A test seam: blocking it lets tests pin store-hit,
+	// singleflight, and backpressure interleavings deterministically.
+	// Production callers leave it nil — any substitute must preserve the
+	// determinism contract (records a pure function of the spec).
+	ExecuteFunc func(Scenario, ExecOptions) (Record, error)
+}
+
+// DefaultMaxPending is the default backpressure bound.
+const DefaultMaxPending = 4096
+
+// ErrBackpressure is returned by Submit when accepting the request
+// would exceed the service's MaxPending bound.
+var ErrBackpressure = errors.New("sweep: service queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("sweep: service is closed")
+
+type serviceMetrics struct {
+	submissions *obs.Counter
+	scenarios   *obs.Counter
+	storeHits   *obs.Counter
+	executions  *obs.Counter
+	dedup       *obs.Counter
+	rejected    *obs.Counter
+	queueDepth  *obs.Gauge
+}
+
+func newServiceMetrics(reg *obs.Registry, artifacts *sim.Cache) serviceMetrics {
+	if reg == nil {
+		return serviceMetrics{}
+	}
+	reg.Func("sim.cache.graph_hits", func() int64 { return artifacts.Stats().GraphHits })
+	reg.Func("sim.cache.graph_misses", func() int64 { return artifacts.Stats().GraphMisses })
+	reg.Func("sim.cache.code_hits", func() int64 { return artifacts.Stats().CodeHits })
+	reg.Func("sim.cache.code_misses", func() int64 { return artifacts.Stats().CodeMisses })
+	return serviceMetrics{
+		submissions: reg.Counter("sweep.service.submissions"),
+		scenarios:   reg.Counter("sweep.service.scenarios"),
+		storeHits:   reg.Counter("sweep.service.store_hits"),
+		executions:  reg.Counter("sweep.service.executions"),
+		dedup:       reg.Counter("sweep.service.singleflight_hits"),
+		rejected:    reg.Counter("sweep.service.rejected"),
+		queueDepth:  reg.Gauge("sweep.service.queue_depth"),
+	}
+}
+
+type task struct {
+	job *Job
+	idx int
+}
+
+type flightResult struct {
+	rec Record
+	err error
+	// hit reports the flight resolved by the owner's in-flight store
+	// re-check rather than an execution (see runTask).
+	hit bool
+}
+
+// NewService starts a service over store: opts.Jobs resident workers
+// draining one shared scenario queue. Close releases them.
+func NewService(store StoreEngine, opts ServiceOptions) *Service {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		if jobs > 1 {
+			workers = 1
+		} else {
+			workers = engine.AutoWorkers
+		}
+	}
+	maxPending := opts.MaxPending
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPending
+	}
+	artifacts := opts.Artifacts
+	if artifacts == nil {
+		artifacts = sim.NewCache()
+	}
+	s := &Service{
+		store: store,
+		exec: ExecOptions{
+			Workers: workers, Shards: opts.Shards, GenWorkers: opts.GenWorkers,
+			Artifacts: artifacts, Metrics: opts.Metrics, MaxRoundsFactor: opts.MaxRoundsFactor,
+		},
+		execute:    opts.ExecuteFunc,
+		tasks:      make(chan task, maxPending),
+		maxPending: maxPending,
+		jobs:       make(map[string]*Job),
+		m:          newServiceMetrics(opts.Metrics, artifacts),
+	}
+	if s.execute == nil {
+		s.execute = Execute
+	}
+	for w := 0; w < jobs; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues scenarios as one Job. It returns
+// immediately: progress streams on Job.Events, completion blocks on
+// Job.Wait. ErrBackpressure reports a full queue (nothing enqueued —
+// admission is all-or-nothing, so a rejected request leaves no orphan
+// tasks); ErrClosed a closed service; a validation error the first
+// invalid scenario.
+func (s *Service) Submit(scenarios []Scenario) (*Job, error) {
+	if len(scenarios) == 0 {
+		return nil, errors.New("sweep: empty submission")
+	}
+	for i, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: submission scenario %d: %w", i, err)
+		}
+	}
+	hashes := make([]string, len(scenarios))
+	unique := make(map[string]struct{}, len(scenarios))
+	for i, sc := range scenarios {
+		hashes[i] = sc.Hash()
+		unique[hashes[i]] = struct{}{}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.pending+len(scenarios) > s.maxPending {
+		s.mu.Unlock()
+		s.m.rejected.Inc()
+		return nil, fmt.Errorf("%w: %d pending + %d submitted > %d", ErrBackpressure, s.pending, len(scenarios), s.maxPending)
+	}
+	s.pending += len(scenarios)
+	s.m.queueDepth.Set(int64(s.pending))
+	s.nextJob++
+	j := &Job{
+		id:        fmt.Sprintf("j%d", s.nextJob),
+		scenarios: scenarios,
+		hashes:    hashes,
+		records:   make([]Record, len(scenarios)),
+		errs:      make([]error, len(scenarios)),
+		events:    make(chan Event, len(scenarios)),
+		done:      make(chan struct{}),
+		start:     time.Now(),
+		stats:     Stats{Total: len(scenarios), Unique: len(unique)},
+	}
+	s.jobs[j.id] = j
+	// Enqueue under the lock: pending accounting guarantees channel
+	// capacity, so these sends never block.
+	for i := range scenarios {
+		s.tasks <- task{job: j, idx: i}
+	}
+	s.mu.Unlock()
+	s.m.submissions.Inc()
+	s.m.scenarios.Add(int64(len(scenarios)))
+	return j, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobIDs returns the IDs of every job the service has accepted, in
+// submission order.
+func (s *Service) JobIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for i := 1; i <= s.nextJob; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if _, ok := s.jobs[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Close stops admission, drains the queue (every accepted job still
+// completes), and releases the workers.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.tasks {
+		s.runTask(t)
+		s.mu.Lock()
+		s.pending--
+		s.m.queueDepth.Set(int64(s.pending))
+		s.mu.Unlock()
+	}
+}
+
+// runTask resolves one scenario slot: store hit, singleflight share, or
+// owned execution (persisted on success). Shares count as cached — the
+// requester did no engine work — and increment the dedup counter.
+//
+// The store is checked twice: once before the flight (the fast path)
+// and again inside it. The re-check closes the exactly-once gap where a
+// task misses the store, the in-flight execution for the same hash then
+// lands (Put + key forgotten), and the task would otherwise start a
+// second execution of work the store already holds.
+func (s *Service) runTask(t task) {
+	hash := t.job.hashes[t.idx]
+	if rec, ok := s.store.Get(hash); ok {
+		s.m.storeHits.Inc()
+		t.job.report(t.idx, rec, true, nil)
+		return
+	}
+	res, shared := s.flights.Do(hash, func() flightResult {
+		if rec, ok := s.store.Get(hash); ok {
+			s.m.storeHits.Inc()
+			return flightResult{rec: rec, hit: true}
+		}
+		s.m.executions.Inc()
+		rec, err := s.execute(t.job.scenarios[t.idx], s.exec)
+		if err == nil {
+			err = s.store.Put(rec)
+		}
+		if err != nil {
+			err = fmt.Errorf("scenario %s: %w", hash, err)
+		}
+		return flightResult{rec: rec, err: err}
+	})
+	if shared {
+		s.m.dedup.Inc()
+	}
+	if res.err != nil {
+		t.job.report(t.idx, Record{}, false, res.err)
+		return
+	}
+	t.job.report(t.idx, res.rec, shared || res.hit, nil)
+}
+
+// Job is one accepted submission: a per-request result slice, progress
+// stream, and completion signal over the service's shared workers.
+type Job struct {
+	id        string
+	scenarios []Scenario
+	hashes    []string
+
+	mu      sync.Mutex
+	records []Record
+	errs    []error
+	stats   Stats
+	doneN   int
+	start   time.Time
+
+	events chan Event
+	done   chan struct{}
+}
+
+// ID returns the service-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Events streams one Event per scenario as it completes, then closes:
+// the per-request progress feed (cmd/sweepd forwards it as NDJSON). The
+// channel is buffered to the job's full size, so a consumer that never
+// reads costs nothing and a consumer that arrives late still sees every
+// event.
+func (j *Job) Events() <-chan Event { return j.events }
+
+// Done is closed when every scenario has completed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns it like Run would: a
+// record per input slot (zero on failure), batch stats, and the joined
+// scenario failures.
+func (j *Job) Wait() ([]Record, Stats, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var failures []error
+	seen := make(map[string]struct{}, len(j.hashes))
+	for i, err := range j.errs {
+		if err == nil {
+			continue
+		}
+		if _, dup := seen[j.hashes[i]]; dup {
+			continue // one failure per unique scenario, like Run
+		}
+		seen[j.hashes[i]] = struct{}{}
+		failures = append(failures, err)
+	}
+	return append([]Record(nil), j.records...), j.stats, errors.Join(failures...)
+}
+
+// JobStatus is a point-in-time progress snapshot (the cmd/sweepd
+// polling shape).
+type JobStatus struct {
+	ID        string `json:"id"`
+	Total     int    `json:"total"`
+	Unique    int    `json:"unique"`
+	Done      int    `json:"done"`
+	Cached    int    `json:"cached"`
+	Ran       int    `json:"ran"`
+	Failed    int    `json:"failed"`
+	Complete  bool   `json:"complete"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// Status returns the job's current progress.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:        j.id,
+		Total:     j.stats.Total,
+		Unique:    j.stats.Unique,
+		Done:      j.doneN,
+		Cached:    j.stats.Cached,
+		Ran:       j.stats.Ran,
+		Failed:    j.stats.Failed,
+		Complete:  j.doneN == j.stats.Total,
+		ElapsedMS: int64(j.elapsed() / time.Millisecond),
+	}
+}
+
+// elapsed is the job's wall clock: frozen at completion. Caller holds
+// j.mu.
+func (j *Job) elapsed() time.Duration {
+	if j.doneN == j.stats.Total {
+		return j.stats.Wall
+	}
+	return time.Since(j.start)
+}
+
+// Records returns the records completed so far, indexed like the
+// submission (zero Records for pending or failed slots).
+func (j *Job) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// report lands one slot's outcome: result slice, stats, event stream,
+// and — on the last slot — completion.
+func (j *Job) report(idx int, rec Record, cached bool, err error) {
+	j.mu.Lock()
+	j.records[idx], j.errs[idx] = rec, err
+	j.doneN++
+	switch {
+	case err != nil:
+		j.stats.Failed++
+	case cached:
+		j.stats.Cached++
+	default:
+		j.stats.Ran++
+	}
+	complete := j.doneN == j.stats.Total
+	if complete {
+		j.stats.Wall = time.Since(j.start)
+	}
+	// Send under the lock: the channel is buffered to Total so the send
+	// never blocks, and holding the lock keeps the event stream ordered
+	// by its Done counter.
+	j.events <- Event{Index: idx, Done: j.doneN, Total: j.stats.Total, Cached: cached, Record: rec, Err: err}
+	if complete {
+		close(j.events)
+		close(j.done)
+	}
+	j.mu.Unlock()
+}
